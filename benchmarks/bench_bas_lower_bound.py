@@ -1,0 +1,43 @@
+"""E1 — Figure 3 / Appendix A / Theorem 3.20: the k-BAS loss lower bound.
+
+Regenerates the series behind the paper's tightness proof: TM's value on
+the layered K-ary tree (K = 2k) stays below ``K/(K-k) = 2`` while the
+tree's value grows linearly in the number of levels, so the realised loss
+is ``Ω(log_{k+1} n)``.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e1_bas_lower_bound
+from repro.core.bas.tm import tm_optimal_bas
+from repro.instances.lower_bounds import appendix_a_forest
+
+
+@pytest.mark.parametrize("k,L", [(1, 8), (2, 5), (3, 4)])
+def test_bench_tm_on_appendix_a(benchmark, k, L):
+    """Time TM on the worst-case instance (the paper's own adversary)."""
+    forest = appendix_a_forest(2 * k, L)
+    bas = benchmark(tm_optimal_bas, forest, k)
+    # Shape: the algorithm's (scaled) value stays below 2 * K^L while the
+    # forest's value is (L+1) * K^L — loss grows with L.
+    scale = (2 * k) ** L
+    assert bas.value < 2 * scale
+    assert forest.total_value == (L + 1) * scale
+
+
+def test_bench_e1_table(benchmark):
+    """Regenerate the full E1 series and check its headline shape."""
+    table = benchmark.pedantic(e1_bas_lower_bound, rounds=1, iterations=1)
+    emit(table, "e1_bas_lower_bound")
+    losses = table.column("loss")
+    caps = table.column("cap K/(K-k)")
+    values = table.column("TM value")
+    # Who wins: the adversary — loss exceeds 2 once L >= 3 while TM's value
+    # never reaches the K/(K-k) cap.
+    assert max(losses) > 2.0
+    assert all(v < c for v, c in zip(values, caps))
+    # Crossover shape: loss ≈ (L+1)/2 for large L (within 15%).
+    last = table.rows[-1]
+    L = last[1]
+    assert losses[-1] == pytest.approx((L + 1) / 2, rel=0.15)

@@ -1,0 +1,51 @@
+"""E2 — Theorem 3.9 / Lemmas 3.17–3.18: the k-BAS loss upper bound.
+
+Regenerates the random-forest series: TM and LevelledContraction losses
+against ``log_{k+1} n``, contraction iteration counts, and the geometric
+layer decay the proof of Lemma 3.18 relies on.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e2_bas_upper_bound
+from repro.core.bas.contraction import levelled_contraction
+from repro.core.bas.tm import tm_optimal_bas
+from repro.instances.random_trees import random_forest
+
+
+@pytest.mark.parametrize("n", [1000, 8000])
+def test_bench_tm_random_forest(benchmark, n):
+    forest = random_forest(n, shape="attachment", seed=2018)
+    bas = benchmark(tm_optimal_bas, forest, 2)
+    assert 0 < bas.value <= forest.total_value
+
+
+@pytest.mark.parametrize("n", [1000, 8000])
+def test_bench_contraction_random_forest(benchmark, n):
+    forest = random_forest(n, shape="preferential", seed=2018)
+    trace = benchmark(levelled_contraction, forest, 2)
+    assert trace.num_iterations >= 1
+
+
+def test_bench_e2_table(benchmark):
+    table = benchmark.pedantic(
+        e2_bas_upper_bound,
+        kwargs=dict(n_values=(50, 200, 800), k_values=(1, 2, 4), repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "e2_bas_upper_bound")
+    # Shape: every loss sits below its log bound; iterations track the
+    # bound; larger k gives strictly smaller losses on average.
+    tm_losses = table.column("TM loss")
+    bounds = table.column("bound log_{k+1} n")
+    iters = table.column("iterations L")
+    assert all(l <= b + 1e-9 for l, b in zip(tm_losses, bounds))
+    assert all(i <= b + 1 for i, b in zip(iters, bounds))
+    ks = table.column("k")
+    by_k = {}
+    for k, l in zip(ks, tm_losses):
+        by_k.setdefault(k, []).append(l)
+    means = {k: sum(v) / len(v) for k, v in by_k.items()}
+    assert means[4] < means[1]

@@ -1,0 +1,68 @@
+"""Exact OPT_∞ solver scaling: Lawler-style DP vs branch-and-bound vs greedy.
+
+Not a paper table — an infrastructure benchmark for the solvers every
+price experiment depends on.  Shape claims: the three agree on value where
+all are exact, and the DP scales past the B&B on loosely-constrained
+instances (its Pareto front stays flat while subset space doubles).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import Table
+from repro.instances.random_jobs import random_jobs
+from repro.scheduling.edf import edf_accept_max_subset
+from repro.scheduling.exact import opt_infty_exact, opt_infty_value
+from repro.scheduling.lawler_dp import lawler_optimal_value
+
+
+def _instance(n, seed=99):
+    return random_jobs(
+        n, horizon=6.0 * n ** 0.5, length_range=(1.0, 5.0),
+        laxity_range=(1.0, 3.0), value_model="independent", seed=seed,
+    )
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_bench_branch_and_bound(benchmark, n):
+    jobs = _instance(n)
+    value = benchmark(opt_infty_value, jobs)
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", [8, 12, 16, 24])
+def test_bench_lawler_dp(benchmark, n):
+    jobs = _instance(n)
+    value = benchmark(lawler_optimal_value, jobs)
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", [16, 48])
+def test_bench_greedy_admission(benchmark, n):
+    jobs = _instance(n)
+    sched = benchmark(edf_accept_max_subset, jobs)
+    assert sched.value > 0
+
+
+def test_bench_solver_agreement(benchmark):
+    """All three solvers, one table; exact pair must agree, greedy below."""
+
+    def run():
+        table = Table(
+            title="Exact-solver agreement and the greedy gap",
+            columns=["n", "B&B", "Lawler DP", "greedy EDF", "greedy/exact"],
+        )
+        for n in (6, 10, 14):
+            jobs = _instance(n, seed=7 + n)
+            bnb = opt_infty_value(jobs)
+            dp = lawler_optimal_value(jobs)
+            greedy = edf_accept_max_subset(jobs).value
+            assert abs(bnb - dp) <= 1e-9 * max(1.0, bnb), (bnb, dp)
+            assert greedy <= bnb + 1e-9
+            table.add_row(n, bnb, dp, greedy, greedy / bnb)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(table, "exact_solvers")
+    ratios = table.column("greedy/exact")
+    assert all(0 < r <= 1 + 1e-9 for r in ratios)

@@ -1,0 +1,47 @@
+"""E8 — Section 4.3.4: multiple non-migrative machines.
+
+Times the iterated-assignment wrapper and regenerates the machines-scaling
+series on the replicated lower bound and a mixed workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e8_multimachine
+from repro.core.multimachine import multimachine_k_bounded, multimachine_opt_infty
+from repro.instances.workloads import mixed_server_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_server_workload(60, seed=8)
+
+
+def test_bench_multimachine_pipeline(benchmark, workload):
+    mm = benchmark(multimachine_k_bounded, workload, 2, 4)
+    assert mm.num_machines <= 4
+    assert mm.max_preemptions <= 2
+
+
+def test_bench_multimachine_opt(benchmark, workload):
+    mm = benchmark(multimachine_opt_infty, workload, 4)
+    assert mm.value > 0
+
+
+def test_bench_e8_table(benchmark):
+    table = benchmark.pedantic(
+        e8_multimachine,
+        kwargs=dict(machines_values=(1, 2, 4), k=2, n=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "e8_multimachine")
+    # Shape: price never exceeds the bound, and the replicated Appendix-B
+    # instance keeps the *same* price at every machine count (each machine
+    # solves its own copy — the paper's "third axis" argument).
+    rows = table.rows
+    appb = [r for r in rows if r[0] == "appendix-B x m"]
+    prices = [r[4] for r in appb]
+    assert max(prices) - min(prices) < 1e-6
+    for r in rows:
+        assert r[4] <= r[5] + 1e-9

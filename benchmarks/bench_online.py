@@ -1,0 +1,45 @@
+"""E14 — online baselines and the preemption bill (§1.4 context).
+
+Times the event-driven online policies and regenerates the table whose
+headline shape is the paper's motivating trade: online EDF-style policies
+get near-OPT value but preempt without bound, while the offline pipeline
+caps preemptions at k for a bounded value factor.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e14_online_baselines
+from repro.instances.workloads import mixed_server_workload
+from repro.scheduling.online import online_edf_admission, online_value_abort
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_server_workload(60, seed=41)
+
+
+def test_bench_online_admission(benchmark, workload):
+    s = benchmark(online_edf_admission, workload)
+    assert s.value > 0
+
+
+def test_bench_online_abort(benchmark, workload):
+    s = benchmark(online_value_abort, workload)
+    assert s.value > 0
+
+
+def test_bench_e14_table(benchmark):
+    table = benchmark.pedantic(
+        e14_online_baselines, kwargs=dict(n=30, repeats=2), rounds=1, iterations=1
+    )
+    emit(table, "e14_online_baselines")
+    rows = {r[0]: (r[2], r[3]) for r in table.rows}
+    # Shape: the online policies' preemption counts exceed the pipeline's
+    # k caps, while their value ratio is higher — both sides of the trade.
+    online_pre = max(rows["online admission-EDF"][1], rows["online value-abort EDF"][1])
+    for k in (1, 2):
+        ratio, pre = rows[f"offline pipeline k={k}"]
+        assert pre <= k
+        assert online_pre >= pre
+    assert rows["online value-abort EDF"][0] >= rows["offline pipeline k=1"][0]

@@ -1,0 +1,49 @@
+"""E5 — Theorem 4.5 / Lemma 4.10: LSA_CS on lax jobs versus the length
+ratio P.
+
+Times LSA and LSA_CS and regenerates the price-vs-P series: the measured
+price grows (slowly) with P but always clears the ``6·log_{k+1} P`` bar.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e5_price_vs_P
+from repro.core.lsa import lsa, lsa_cs
+from repro.instances.random_jobs import random_lax_jobs
+
+
+@pytest.fixture(scope="module")
+def lax_instance():
+    return random_lax_jobs(120, 2, length_ratio=64.0, horizon=400.0, seed=5)
+
+
+def test_bench_lsa_single_class(benchmark):
+    jobs = random_lax_jobs(120, 2, length_ratio=2.9, horizon=400.0, seed=6)
+    s = benchmark(lsa, jobs, 2)
+    assert s.max_preemptions <= 2
+
+
+def test_bench_lsa_cs(benchmark, lax_instance):
+    s = benchmark(lsa_cs, lax_instance, 2)
+    assert s.max_preemptions <= 2
+    assert s.value > 0
+
+
+def test_bench_e5_table(benchmark):
+    table = benchmark.pedantic(
+        e5_price_vs_P,
+        kwargs=dict(P_values=(4.0, 16.0, 64.0), k_values=(1, 2), n=40, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "e5_price_vs_P")
+    assert all(table.column("within"))
+    # Shape: price grows with P for fixed k (classification spreads value
+    # across more classes), and shrinks with k for fixed P.
+    prices = table.column("price")
+    Ps = table.column("P")
+    ks = table.column("k")
+    first_k = min(ks)
+    series = [p for p, P, k in zip(prices, Ps, ks) if k == first_k]
+    assert series[-1] >= series[0] - 0.3

@@ -1,0 +1,44 @@
+"""E16 — the headline trade curve: realised price vs preemption budget k.
+
+Regenerates the k-sweep on the benign mix and the Figure 2 chain, whose
+shapes are the paper's two stories in one table: the chain's k = 0 → 1
+cliff (price n → 1) and the smooth, quickly-flattening decay predicted by
+``log_{k+1}`` bounds on benign inputs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e16_price_vs_k
+
+
+def test_bench_e17_table(benchmark):
+    from repro.analysis.experiments import e17_switch_cost
+
+    table = benchmark.pedantic(
+        e17_switch_cost, kwargs=dict(costs=(0.0, 2.0, 32.0), n=25), rounds=1, iterations=1
+    )
+    emit(table, "e17_switch_cost")
+    # Shape: optimal k non-increasing in cost, per instance.
+    by_inst = {}
+    for inst, cost, k, _net, _sw in table.rows:
+        by_inst.setdefault(inst, []).append(k)
+    for ks in by_inst.values():
+        assert ks == sorted(ks, reverse=True)
+
+
+def test_bench_e16_table(benchmark):
+    table = benchmark.pedantic(
+        e16_price_vs_k, kwargs=dict(k_values=(0, 1, 2, 4, 8), n=30), rounds=1, iterations=1
+    )
+    emit(table, "e16_price_vs_k")
+    rows = [(r[0], r[1], r[3]) for r in table.rows]
+    chain = {k: p for inst, k, p in rows if inst == "geometric chain"}
+    mix = {k: p for inst, k, p in rows if inst == "mixed server"}
+    # The chain's cliff: price n at k=0, exactly 1 from k=1 on.
+    assert chain[0] == pytest.approx(8.0)
+    assert all(chain[k] == pytest.approx(1.0) for k in chain if k >= 1)
+    # The mix flattens: the k=8 price is within a factor ~2 of the k=2 one
+    # and no worse (diminishing returns past small k).
+    assert mix[8] <= mix[2] + 1e-9
+    assert mix[8] >= 1.0 - 1e-9

@@ -1,0 +1,51 @@
+"""E3 — Figure 1 / Section 4.1 / Theorem 4.2: the reduction round-trip.
+
+Times the pipeline stages (laminar check, forest construction, TM,
+compaction) on nested instances with known schedule forests, and asserts
+the kept-value guarantee and the k+1 segment budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e3_reduction_roundtrip
+from repro.core.reduction import reduce_schedule_to_k_preemptive, schedule_to_forest
+from repro.instances.random_jobs import laminar_job_chain
+from repro.scheduling.edf import edf_schedule
+from repro.scheduling.laminar import laminarize
+
+
+@pytest.fixture(scope="module")
+def deep_schedule():
+    jobs = laminar_job_chain(4, 3)  # 121 jobs
+    return edf_schedule(jobs).schedule
+
+
+def test_bench_schedule_to_forest(benchmark, deep_schedule):
+    forest, node_to_job = benchmark(schedule_to_forest, deep_schedule)
+    assert forest.n == len(deep_schedule)
+    assert forest.max_degree == 3
+
+
+def test_bench_full_reduction(benchmark, deep_schedule):
+    out = benchmark(reduce_schedule_to_k_preemptive, deep_schedule, 2)
+    assert out.max_preemptions <= 2
+    assert out.value > 0
+
+
+def test_bench_laminarize(benchmark, deep_schedule):
+    out = benchmark(laminarize, deep_schedule)
+    assert out.value == deep_schedule.value
+
+
+def test_bench_e3_table(benchmark):
+    table = benchmark.pedantic(e3_reduction_roundtrip, rounds=1, iterations=1)
+    emit(table, "e3_reduction_roundtrip")
+    ratios = table.column("kept value ratio")
+    bounds = table.column("bound 1/log_{k+1} n")
+    segs = table.column("max segs")
+    budgets = table.column("budget k+1")
+    # Shape: the reduction always clears the Thm 4.2 floor and never blows
+    # the preemption budget.
+    assert all(r >= b - 1e-9 for r, b in zip(ratios, bounds))
+    assert all(s <= b for s, b in zip(segs, budgets))

@@ -1,0 +1,51 @@
+"""E9 — runtime scaling: the paper's O(|V|) remarks for TM and
+LevelledContraction, plus LSA's near-linearithmic behaviour.
+
+pytest-benchmark gives the per-size timings; the table records µs/node so
+the linearity is visible at a glance.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import e9_runtime_scaling
+from repro.core.bas.contraction import levelled_contraction
+from repro.core.bas.tm import tm_optimal_value
+from repro.core.lsa import lsa
+from repro.instances.random_jobs import random_lax_jobs
+from repro.instances.random_trees import random_forest
+
+
+@pytest.mark.parametrize("n", [2000, 16000])
+def test_bench_tm_scaling(benchmark, n):
+    forest = random_forest(n, seed=9)
+    value = benchmark(tm_optimal_value, forest, 2)
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", [2000, 16000])
+def test_bench_contraction_scaling(benchmark, n):
+    forest = random_forest(n, seed=9)
+    trace = benchmark(levelled_contraction, forest, 2)
+    assert trace.num_iterations >= 1
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_bench_lsa_scaling(benchmark, n):
+    jobs = random_lax_jobs(n, 2, length_ratio=2.9, horizon=8.0 * n, seed=10)
+    s = benchmark(lsa, jobs, 2)
+    assert s.value > 0
+
+
+def test_bench_e9_table(benchmark):
+    table = benchmark.pedantic(
+        e9_runtime_scaling,
+        kwargs=dict(n_values=(1000, 4000, 16000), k=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "e9_runtime_scaling")
+    per_node = table.column("TM us/node")
+    # Linearity: per-node cost across a 16x size range stays within ~5x
+    # (Python constant factors wobble; asymptotic blow-up would be >> this).
+    assert max(per_node) <= 5 * min(per_node) + 5

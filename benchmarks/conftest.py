@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one paper artefact (table/figure/theorem
+series — see DESIGN.md §3), times its computational kernel with
+pytest-benchmark, asserts the paper's shape claims, and writes the
+rendered table to ``benchmarks/results/<name>.md`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(table, name: str) -> None:
+    """Print a table and persist its markdown rendering."""
+    print()
+    print(table.render())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(table.render_markdown() + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's three worst-case constructions.
+
+Each construction is generated, verified *executably* (not taken on
+faith), and its price/loss read off:
+
+1. Figure 2 — the geometric chain that makes k = 0 lose a factor n;
+2. Appendix A — the layered value tree that makes any k-BAS lose
+   ``Ω(log_{k+1} n)``;
+3. Appendix B — the zero-slack nested job hierarchy that transfers the
+   tree bound to scheduling: price ``Ω(log_{k+1} P)``.
+
+Run: ``python examples/lower_bound_tour.py``
+"""
+
+from fractions import Fraction
+
+from repro import verify_schedule
+from repro.core.bas.bounds import appendix_a_alg_value
+from repro.core.bas.tm import tm_optimal_bas
+from repro.core.nonpreemptive import nonpreemptive_combined
+from repro.core.reduction import reduce_schedule_to_k_preemptive
+from repro.instances.lower_bounds import (
+    appendix_a_forest,
+    appendix_b_jobs,
+    geometric_chain,
+    geometric_chain_one_preemption_schedule,
+)
+from repro.scheduling.edf import edf_feasible
+
+
+def tour_figure_2() -> None:
+    print("=" * 64)
+    print("Figure 2: the geometric chain (k = 0 vs k = 1)")
+    print("=" * 64)
+    n = 8
+    jobs = geometric_chain(n)
+    print(f"{n} unit-value jobs, lengths 2^1 .. 2^{n}, P = {jobs.length_ratio}")
+
+    witness = geometric_chain_one_preemption_schedule(n)
+    verify_schedule(witness, k=1).assert_ok()
+    print(f"with ONE preemption per job: all {witness.value:.0f} jobs fit (verified)")
+
+    best0 = nonpreemptive_combined(jobs)
+    verify_schedule(best0, k=0).assert_ok()
+    print(f"with NO preemptions: best feasible value = {best0.value:.0f}")
+    print(f"→ price of forbidding preemption: {witness.value / best0.value:.0f} "
+          f"= n = log₂P + 1\n")
+
+
+def tour_appendix_a() -> None:
+    print("=" * 64)
+    print("Appendix A: the layered K-ary tree (k-BAS loss)")
+    print("=" * 64)
+    k, L = 2, 5
+    K = 2 * k
+    forest = appendix_a_forest(K, L, scale=False)
+    print(f"K = 2k = {K}, L = {L}: {forest.n} nodes, "
+          f"every level worth 1, total value {forest.total_value}")
+
+    bas = tm_optimal_bas(forest, k)
+    analytic = appendix_a_alg_value(k, K, L)
+    assert bas.value == analytic
+    print(f"optimal {k}-BAS value (TM): {float(bas.value):.4f} "
+          f"(= Lemma A.2's closed form, < K/(K-k) = 2)")
+    print(f"→ loss factor {float(forest.total_value / bas.value):.2f} "
+          f"≈ (L+1)/2 = Ω(log_(k+1) n)\n")
+
+
+def tour_appendix_b() -> None:
+    print("=" * 64)
+    print("Appendix B: the nested job hierarchy (price lower bound)")
+    print("=" * 64)
+    k, L = 2, 3
+    inst = appendix_b_jobs(k, L)
+    print(f"k = {k}, K = {inst.K}, L = {L}: {inst.jobs.n} jobs, "
+          f"P = {inst.P}, λ = 1 + 1/(3K-1) everywhere")
+
+    assert edf_feasible(inst.jobs)
+    print(f"EDF (exact fractions): ALL jobs feasible → OPT_∞ = L+1 = {L + 1}")
+
+    nested = inst.nested_optimal_schedule()
+    verify_schedule(nested).assert_ok()
+    reduced = reduce_schedule_to_k_preemptive(nested, k)
+    verify_schedule(reduced, k=k).assert_ok()
+    scale = inst.K ** inst.L
+    achieved = Fraction(reduced.value, scale)
+    print(f"our {k}-bounded pipeline achieves {float(achieved):.4f} "
+          f"= Lemma B.2's OPT_k exactly (cap {float(inst.opt_k_cap):.4f} < 2)")
+    print(f"→ price {float(inst.opt_infty / inst.opt_k_cap):.2f}, "
+          f"growing by ~1/2 per level: Ω(log_(k+1) P)\n")
+
+
+if __name__ == "__main__":
+    tour_figure_2()
+    tour_appendix_a()
+    tour_appendix_b()

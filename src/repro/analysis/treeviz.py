@@ -1,0 +1,91 @@
+"""ASCII rendering of forests and k-BAS decisions.
+
+Companion to :mod:`repro.analysis.gantt`: the schedule-forest reduction is
+much easier to debug when the tree and the pruning decisions are visible.
+Nodes print as ``id(value)`` with a marker for their k-BAS fate:
+
+* ``●`` retained,
+* ``○`` pruned (up or down),
+* no marker when no sub-forest is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+
+
+def render_forest(
+    forest: Forest,
+    bas: Optional[SubForest] = None,
+    *,
+    max_nodes: int = 200,
+    node_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a forest as an indented ASCII tree.
+
+    ``bas`` marks each node retained/pruned; ``node_labels`` overrides the
+    default ``id(value)`` text (e.g. with job ids).  Large forests are
+    truncated at ``max_nodes`` with an ellipsis note.
+    """
+    if forest.n == 0:
+        return "(empty forest)"
+
+    def label(v: int) -> str:
+        base = node_labels[v] if node_labels is not None else f"{v}({_fmt(forest.value(v))})"
+        if bas is None:
+            return base
+        return ("● " if v in bas else "○ ") + base
+
+    lines: List[str] = []
+    emitted = 0
+    truncated = False
+
+    def walk(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        nonlocal emitted, truncated
+        if truncated:
+            return
+        if emitted >= max_nodes:
+            truncated = True
+            return
+        if is_root:
+            lines.append(label(v))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + label(v))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        emitted += 1
+        kids = forest.children(v)
+        for i, c in enumerate(kids):
+            walk(c, child_prefix, i == len(kids) - 1, False)
+
+    for r in forest.roots:
+        walk(r, "", True, True)
+    if truncated:
+        lines.append(f"… ({forest.n - emitted} more nodes)")
+    return "\n".join(lines)
+
+
+def _fmt(x) -> str:
+    try:
+        f = float(x)
+    except (TypeError, ValueError):  # pragma: no cover - exotic value types
+        return str(x)
+    if f == int(f):
+        return str(int(f))
+    return f"{f:.3g}"
+
+
+def render_bas_summary(bas: SubForest, k: int) -> str:
+    """One-paragraph text summary of a k-BAS result."""
+    forest = bas.forest
+    comps = bas.components()
+    return (
+        f"k-BAS (k={k}): retained {len(bas)}/{forest.n} nodes "
+        f"worth {_fmt(bas.value)}/{_fmt(forest.total_value)} "
+        f"(loss {bas.loss_factor():.3f}) in {len(comps)} component(s); "
+        f"max induced degree {bas.max_induced_degree()}"
+    )

@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro`` / ``repro-bench``.
+
+Subcommands::
+
+    repro-bench list                 # show the experiment registry
+    repro-bench run e1 [--markdown]  # run one experiment, print its table
+    repro-bench all [--markdown]     # run the whole suite in order
+    repro-bench demo                 # 20-line end-to-end tour
+
+Every experiment re-asserts its paper bound while running, so a clean exit
+is itself a reproduction check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+
+_DESCRIPTIONS = {
+    "e1": "k-BAS loss lower bound on the Appendix-A tree (Thm 3.20 / Fig 3)",
+    "e2": "k-BAS loss upper bound on random forests (Thm 3.9)",
+    "e3": "schedule<->forest reduction round-trip (Fig 1 / Thm 4.2)",
+    "e4": "realised price vs n, exact OPT (Thm 4.2)",
+    "e5": "LSA_CS on lax jobs vs P (Thm 4.5 / Lemma 4.10)",
+    "e6": "price lower bound on the Appendix-B instance (Thms 4.3/4.13 / Fig 4)",
+    "e7a": "k=0 price on the geometric chain (Fig 2)",
+    "e7b": "k=0 upper bound on random instances (Sec 5)",
+    "e8": "multiple non-migrative machines (Sec 4.3.4)",
+    "e9": "runtime scaling of TM / LevelledContraction",
+    "e10": "ablations: LSA ordering, TM vs LC, compaction",
+    "e11": "extensions: classify by rho/sigma (Sec 1.4), budget-EDF baseline",
+    "e12": "strict-job window growth and layer bound (Sec 4.3.1 / Lemma 4.6)",
+    "e13": "the Sec 4.3.2 charging argument run live on LSA (Lemmas 4.7-4.12)",
+    "e14": "online baselines and the preemption bill (Sec 1.4 context)",
+    "e15": "periodic task systems across the utilisation boundary (Sec 1.2 domain)",
+    "e16": "the headline trade curve: realised price vs preemption budget k",
+    "e17": "optimal budget vs context-switch cost (Sec 1.2's motivation)",
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        print(f"{name.ljust(width)}  {_DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _cmd_run(names: List[str], markdown: bool) -> int:
+    for name in names:
+        table = run_experiment(name)
+        print(table.render_markdown() if markdown else table.render())
+        print()
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import make_jobs, schedule_k_bounded, verify_schedule
+    from repro.scheduling.exact import opt_infty_exact
+
+    jobs = make_jobs(
+        [
+            (0, 12, 5, 6.0),
+            (1, 7, 4, 5.0),
+            (3, 9, 3, 4.0),
+            (2, 20, 6, 3.0),
+            (8, 28, 9, 7.0),
+        ]
+    )
+    opt = opt_infty_exact(jobs)
+    print(f"instance: n={jobs.n}, P={jobs.length_ratio:.2f}, OPT_inf={opt.value}")
+    for k in (0, 1, 2):
+        if k == 0:
+            from repro.core.nonpreemptive import nonpreemptive_combined
+
+            sched = nonpreemptive_combined(jobs)
+        else:
+            sched = schedule_k_bounded(jobs, k)
+        verify_schedule(sched, k=k).assert_ok()
+        print(
+            f"k={k}: value {sched.value} "
+            f"(price {opt.value / sched.value:.3f}), "
+            f"accepted {sched.scheduled_ids}, max preemptions {sched.max_preemptions}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduction harness for 'The Price of Bounded Preemption' (SPAA'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("names", nargs="+", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    all_p = sub.add_parser("all", help="run the full suite")
+    all_p.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    sub.add_parser("demo", help="run the 20-line end-to-end demo")
+    sweep_p = sub.add_parser("sweep", help="run a JSON-configured parameter sweep")
+    sweep_p.add_argument("config", help="path to a sweep config (see repro.analysis.config)")
+    sweep_p.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    sub.add_parser("cells", help="list registered sweep cells")
+    report_p = sub.add_parser("report", help="run everything and write REPORT.md")
+    report_p.add_argument("--out", default="REPORT.md", help="output path")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names, args.markdown)
+    if args.command == "all":
+        return _cmd_run(sorted(EXPERIMENTS), args.markdown)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "sweep":
+        from repro.analysis.config import run_config
+
+        table = run_config(args.config)
+        print(table.render_markdown() if args.markdown else table.render())
+        return 0
+    if args.command == "cells":
+        from repro.analysis.config import CELL_REGISTRY
+
+        for name in sorted(CELL_REGISTRY):
+            doc = (CELL_REGISTRY[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+    if args.command == "report":
+        from repro.analysis.report import write_report
+
+        outcomes = write_report(args.out)
+        passed = sum(1 for o in outcomes if o.ok)
+        print(f"{passed}/{len(outcomes)} experiments passed; report at {args.out}")
+        return 0 if passed == len(outcomes) else 1
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Core contribution of the paper: k-BAS computation and the price of
+bounded preemption pipeline.
+
+Public surface:
+
+* :mod:`repro.core.bas` — the k-Bounded-Degree Ancestor-Independent
+  Sub-Forest problem (Section 3): optimal DP (**TM**), the analysable
+  **LevelledContraction** algorithm, verification and bound certificates.
+* :mod:`repro.core.reduction` — the Section 4.1 reduction between laminar
+  schedules and forests, in both directions.
+* :mod:`repro.core.lsa` — the Leftmost Schedule Algorithm and its
+  classify-and-select wrapper for lax jobs (Section 4.3.2).
+* :mod:`repro.core.combined` — Algorithm 3 (k-PreemptionCombined) and the
+  practical front door :func:`schedule_k_bounded`.
+* :mod:`repro.core.nonpreemptive` — the k = 0 algorithms of Section 5.
+* :mod:`repro.core.multimachine` — iterated assignment for multiple
+  non-migrative machines (Section 4.3.4).
+* :mod:`repro.core.pricing` — price measurement and bound formulas.
+"""
+
+from repro.core.bas import (
+    Forest,
+    SubForest,
+    tm_optimal_bas,
+    levelled_contraction,
+    max_contract,
+    verify_bas,
+    bas_loss_bound,
+)
+from repro.core.reduction import (
+    schedule_to_forest,
+    forest_to_schedule,
+    reduce_schedule_to_k_preemptive,
+)
+from repro.core.lsa import lsa, lsa_cs
+from repro.core.combined import k_preemption_combined, schedule_k_bounded
+from repro.core.nonpreemptive import nonpreemptive_lsa_cs, nonpreemptive_combined
+from repro.core.multimachine import (
+    iterated_assignment,
+    multimachine_k_bounded,
+    reduce_multimachine_schedule,
+)
+from repro.core.pricing import (
+    measured_price,
+    price_bound_n,
+    price_bound_P,
+    price_bound_k0,
+)
+from repro.core.budget_edf import budget_edf, budget_edf_simulate
+from repro.core.fixed_points import fixed_point_schedule, fixed_point_simulate
+from repro.core.preemption_cost import net_value, optimal_budget, total_preemptions
+from repro.core.classify import classify_and_select, classify_jobs, classification_bound
+
+__all__ = [
+    "Forest",
+    "SubForest",
+    "tm_optimal_bas",
+    "levelled_contraction",
+    "max_contract",
+    "verify_bas",
+    "bas_loss_bound",
+    "schedule_to_forest",
+    "forest_to_schedule",
+    "reduce_schedule_to_k_preemptive",
+    "lsa",
+    "lsa_cs",
+    "k_preemption_combined",
+    "schedule_k_bounded",
+    "nonpreemptive_lsa_cs",
+    "nonpreemptive_combined",
+    "iterated_assignment",
+    "multimachine_k_bounded",
+    "reduce_multimachine_schedule",
+    "measured_price",
+    "price_bound_n",
+    "price_bound_P",
+    "price_bound_k0",
+    "budget_edf",
+    "budget_edf_simulate",
+    "fixed_point_schedule",
+    "fixed_point_simulate",
+    "net_value",
+    "optimal_budget",
+    "total_preemptions",
+    "classify_and_select",
+    "classify_jobs",
+    "classification_bound",
+]

@@ -1,0 +1,51 @@
+"""k-Bounded-Degree Ancestor-Independent Sub-Forests (Section 3).
+
+Given a rooted forest with positive node values and an integer ``k >= 1``,
+a **k-BAS** is a sub-forest in which every node keeps at most ``k`` of its
+children and no connected component contains an ancestor of another
+component (Definitions 3.1–3.3).  This package provides:
+
+* :class:`~repro.core.bas.forest.Forest` — the array-backed forest type;
+* :func:`~repro.core.bas.tm.tm_optimal_bas` — the optimal DP (procedure
+  **TM**, Section 3.2);
+* :func:`~repro.core.bas.contraction.levelled_contraction` — Algorithm 1,
+  whose layer structure yields the ``log_{k+1} n`` loss bound (Thm 3.9);
+* :func:`~repro.core.bas.verify.verify_bas` — the independent checker;
+* :mod:`~repro.core.bas.bounds` — closed-form bound helpers and the
+  analytic Appendix-A values.
+"""
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+from repro.core.bas.tm import tm_optimal_bas, tm_values
+from repro.core.bas.contraction import (
+    levelled_contraction,
+    max_contract,
+    ContractionTrace,
+)
+from repro.core.bas.verify import verify_bas, BasReport
+from repro.core.bas.milp import kbas_milp, kbas_milp_value
+from repro.core.bas.bounds import (
+    bas_loss_bound,
+    appendix_a_tm_values,
+    appendix_a_alg_value,
+    appendix_a_total_value,
+)
+
+__all__ = [
+    "Forest",
+    "SubForest",
+    "tm_optimal_bas",
+    "tm_values",
+    "levelled_contraction",
+    "max_contract",
+    "ContractionTrace",
+    "verify_bas",
+    "BasReport",
+    "kbas_milp",
+    "kbas_milp_value",
+    "bas_loss_bound",
+    "appendix_a_tm_values",
+    "appendix_a_alg_value",
+    "appendix_a_total_value",
+]

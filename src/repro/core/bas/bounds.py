@@ -1,0 +1,70 @@
+"""Closed-form bounds and Appendix-A analytic values for k-BAS.
+
+These are the formulas the experiments compare measured quantities against:
+
+* the loss-factor upper bound ``log_{k+1} n`` (Theorem 3.9);
+* the per-level ``t``/``m`` aggregates of the Appendix-A instance
+  (Lemma A.2), the total algorithm value ``< K/(K-k)`` (Corollary A.3),
+  and the instance's total value ``L + 1`` (Observation A.1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.utils.numeric import log_base
+
+
+def bas_loss_bound(n: int, k: int) -> float:
+    """Theorem 3.9's guarantee: the optimal k-BAS loses at most a
+    ``log_{k+1} n`` factor.  Clamped below by 1 (a singleton loses nothing)."""
+    if k < 1:
+        raise ValueError(f"bound defined for k >= 1, got {k}")
+    return max(1.0, log_base(n, k + 1))
+
+
+def appendix_a_total_value(L: int) -> int:
+    """Observation A.1: each of the ``L + 1`` levels carries total value 1."""
+    return L + 1
+
+
+def appendix_a_tm_values(k: int, K: int, L: int, level: int) -> Tuple[Fraction, Fraction]:
+    """Lemma A.2's closed forms for a node at ``level`` of the instance:
+
+    ``t(v) = K^{-level} * Σ_{j=0}^{L-level} (k/K)^j``
+    ``m(v) = K^{-level} * Σ_{j=0}^{L-level-1} (k/K)^j``
+
+    Returned as exact fractions so the golden tests compare exactly against
+    the DP run on a value-scaled copy of the tree.
+    """
+    if not (0 <= level <= L):
+        raise ValueError(f"level must be in [0, {L}], got {level}")
+    ratio = Fraction(k, K)
+    scale = Fraction(1, K**level)
+    t = scale * sum(ratio**j for j in range(L - level + 1))
+    m = scale * sum(ratio**j for j in range(L - level))
+    return t, m
+
+
+def appendix_a_alg_value(k: int, K: int, L: int) -> Fraction:
+    """Corollary A.3: TM's value on the instance is ``t(root) = Σ (k/K)^j``,
+    strictly below ``K / (K - k)``."""
+    t_root, _ = appendix_a_tm_values(k, K, L, 0)
+    return t_root
+
+
+def appendix_a_loss_lower_bound(k: int, L: int) -> float:
+    """The realised loss with ``K = 2k``: total value ``L + 1`` against an
+    algorithm value below 2, i.e. loss ``> (L + 1)/2 = Ω(log_{k+1} n)``
+    (proof of Theorem 3.20)."""
+    K = 2 * k
+    alg = appendix_a_alg_value(k, K, L)
+    return float(Fraction(L + 1) / alg)
+
+
+def appendix_a_size(K: int, L: int) -> int:
+    """Number of nodes: ``Σ_{i=0}^{L} K^i = (K^{L+1} - 1)/(K - 1)``."""
+    if K == 1:
+        return L + 1
+    return (K ** (L + 1) - 1) // (K - 1)

@@ -1,0 +1,103 @@
+"""Exact k-BAS via mixed-integer programming — an independent oracle.
+
+Procedure TM is proven optimal on paper; this module proves it *in the
+test suite* by solving the same problem through a completely different
+engine (scipy's HiGHS MILP solver) and demanding bit-identical objective
+values on random forests.
+
+**Formulation.**  Per node two binaries, ``r_v`` (retained) and ``u_v``
+(pruned *up*); pruned-*down* is the implicit third state ``1 - r - u``.
+Observation 3.8's state machine becomes three constraint families over
+each edge (v parent of c) plus the degree cap:
+
+* ``r_v + u_v <= 1``                    — states are exclusive;
+* ``r_c + u_c <= r_v + u_v``            — a pruned-down parent forces
+  pruned-down children (nothing survives below a discarded subtree);
+* ``u_c <= 1 - r_v``                    — a retained node has no pruned-up
+  descendants (Observation 3.8a, the ancestor-independence guard);
+* ``Σ_{c ∈ C(v)} r_c <= k + |C(v)|·(1 - r_v)`` — a *retained* node keeps at
+  most k children (children of a pruned-up node are component roots and
+  are only bound by their own caps).
+
+Objective: maximise ``Σ val_v · r_v``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import lil_matrix
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+
+
+def kbas_milp(forest: Forest, k: int) -> SubForest:
+    """Solve the optimal k-BAS exactly as a MILP (independent of TM).
+
+    Intended for cross-validation at test scale (hundreds of nodes);
+    procedure TM remains the production algorithm.
+    """
+    if k < 1:
+        raise ValueError(f"k-BAS requires k >= 1, got {k}")
+    n = forest.n
+    if n == 0:
+        return SubForest(forest, [])
+
+    # Variables: x = [r_0..r_{n-1}, u_0..u_{n-1}].
+    num_vars = 2 * n
+
+    def r(v: int) -> int:
+        return v
+
+    def u(v: int) -> int:
+        return n + v
+
+    rows: List[Tuple[dict, float, float]] = []  # (coeffs, lower, upper)
+
+    for v in range(n):
+        # r_v + u_v <= 1
+        rows.append(({r(v): 1.0, u(v): 1.0}, -np.inf, 1.0))
+        p = forest.parent(v)
+        if p != -1:
+            # r_c + u_c - r_p - u_p <= 0
+            rows.append(({r(v): 1.0, u(v): 1.0, r(p): -1.0, u(p): -1.0}, -np.inf, 0.0))
+            # u_c + r_p <= 1
+            rows.append(({u(v): 1.0, r(p): 1.0}, -np.inf, 1.0))
+        kids = forest.children(v)
+        if kids:
+            # sum r_c + |C|*r_v <= k + |C|
+            coeffs = {r(c): 1.0 for c in kids}
+            coeffs[r(v)] = float(len(kids))
+            rows.append((coeffs, -np.inf, float(k + len(kids))))
+
+    A = lil_matrix((len(rows), num_vars))
+    lb = np.empty(len(rows))
+    ub = np.empty(len(rows))
+    for i, (coeffs, lo, hi) in enumerate(rows):
+        for j, val in coeffs.items():
+            A[i, j] = val
+        lb[i] = lo
+        ub[i] = hi
+
+    c = np.zeros(num_vars)
+    for v in range(n):
+        c[r(v)] = -float(forest.value(v))  # milp minimises
+
+    result = milp(
+        c=c,
+        constraints=LinearConstraint(A.tocsr(), lb, ub),
+        integrality=np.ones(num_vars),
+        bounds=Bounds(0, 1),
+    )
+    if not result.success:  # pragma: no cover - HiGHS handles these models
+        raise RuntimeError(f"MILP solver failed: {result.message}")
+    retained = [v for v in range(n) if result.x[r(v)] > 0.5]
+    return SubForest(forest, retained)
+
+
+def kbas_milp_value(forest: Forest, k: int) -> float:
+    """Objective value of the exact MILP k-BAS."""
+    return float(kbas_milp(forest, k).value)

@@ -1,0 +1,99 @@
+"""Procedure TM — the optimal k-BAS dynamic program (Section 3.2).
+
+For every node ``u`` two aggregates are computed bottom-up (equation 3.1):
+
+* ``t(u)`` — the best value extractable from ``T(u)`` when ``u`` is
+  **retained**: ``val(u)`` plus the ``t`` values of its ``k`` best children
+  (the other children are pruned *down* — removed with their entire
+  subtrees, because a retained node may not have pruned-up descendants,
+  Observation 3.8a);
+* ``m(u)`` — the best value when ``u`` is **pruned up** (removed together
+  with all its ancestors): each child independently contributes
+  ``max(t(child), m(child))``.
+
+A top-down replay of the argmax decisions then materialises the optimal
+k-BAS.  Runtime is ``O(|V| log k)`` from the top-k selection — effectively
+the paper's ``O(|V|)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+
+
+def tm_values(forest: Forest, k: int) -> Tuple[List, List]:
+    """The ``t`` and ``m`` arrays of equation 3.1, indexed by node id.
+
+    Exposed separately from :func:`tm_optimal_bas` so the Appendix-A golden
+    tests can compare the computed aggregates against Lemma A.2's closed
+    forms level by level.
+    """
+    if k < 1:
+        raise ValueError(f"k-BAS requires k >= 1, got {k} (k = 0 prunes every edge)")
+    n = forest.n
+    t: List = [0] * n
+    m: List = [0] * n
+    for u in forest.postorder():
+        kids = forest.children(u)
+        if not kids:
+            t[u] = forest.value(u)
+            m[u] = 0
+            continue
+        # C_k(u): the k children with the highest t-values.  Values are
+        # positive, so filling all k slots is always at least as good as
+        # leaving one empty.
+        best = heapq.nlargest(k, (t[c] for c in kids))
+        t[u] = forest.value(u) + sum(best)
+        m[u] = sum(max(t[c], m[c]) for c in kids)
+    return t, m
+
+
+def tm_optimal_bas(forest: Forest, k: int) -> SubForest:
+    """The optimal k-BAS of a forest (Definition 3.3) via procedure TM.
+
+    Applies the DP independently to every tree of the forest (Observation
+    3.5: the max-value k-BAS of a forest is the union over its trees) and
+    replays the decisions top-down:
+
+    * a **retained** node keeps its top-k children (by ``t``) retained and
+      prunes the rest down (their whole subtrees are discarded);
+    * a **pruned-up** node lets each child independently choose
+      ``max(t, m)`` — retained or pruned-up;
+    * the root of each tree picks ``max(t(root), m(root))``.
+
+    Ties favour retention and, within the top-k selection, smaller node id —
+    deterministic output for reproducibility.
+    """
+    t, m = tm_values(forest, k)
+    retained: List[int] = []
+    RETAIN, PRUNE_UP = 0, 1
+    stack: List[Tuple[int, int]] = []
+    for root in forest.roots:
+        stack.append((root, RETAIN if t[root] >= m[root] else PRUNE_UP))
+    while stack:
+        u, decision = stack.pop()
+        if decision == RETAIN:
+            retained.append(u)
+            kids = forest.children(u)
+            if kids:
+                top = heapq.nsmallest(
+                    min(k, len(kids)), kids, key=lambda c: (-t[c], c)
+                )
+                for c in top:
+                    stack.append((c, RETAIN))
+                # Children outside the top-k are pruned down: dropped with
+                # their entire subtrees (no push).
+        else:  # pruned up: children decide independently.
+            for c in forest.children(u):
+                stack.append((c, RETAIN if t[c] >= m[c] else PRUNE_UP))
+    return SubForest(forest, retained)
+
+
+def tm_optimal_value(forest: Forest, k: int):
+    """``val`` of the optimal k-BAS without materialising the node set."""
+    t, m = tm_values(forest, k)
+    return sum(max(t[r], m[r]) for r in forest.roots)

@@ -1,0 +1,84 @@
+"""The k = 0 special case (Section 5).
+
+With no preemptions at all (against an unboundedly-preempting adversary)
+the price is ``Θ(min{n, log P})``:
+
+* the ``n`` side is certified by the trivial best-single-job schedule;
+* the ``log P`` side by an en-bloc LSA under classify-and-select with
+  length classes of ratio ``<= 2``: within a class a rejected job's window
+  is at least ``1/(1 + P) >= 1/3``-loaded, and the charging argument of
+  Section 4.3.2 gives ``val(J_in) >= val(OPT) / (3 log P)`` overall.
+
+:func:`nonpreemptive_combined` returns the better of the two certificates,
+realising the ``O(min{n, log P})`` upper bound end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.scheduling.job import JobSet
+from repro.scheduling.schedule import Schedule, best_single_job
+from repro.scheduling.segment import Segment
+from repro.scheduling.timeline import Timeline, leftmost_fit_single
+
+
+def nonpreemptive_lsa(jobs: JobSet, *, order: str = "density") -> Schedule:
+    """En-bloc LSA: the k = 0 adjustment of Algorithm 2's inner procedure.
+
+    Jobs are scanned in density order; each is placed at the leftmost idle
+    interval inside its window that holds it *in one piece* ("scheduling to
+    be made solely en bloc"), or rejected.
+    """
+    scan = jobs.sorted_by_density() if order == "density" else jobs.sorted_by_value()
+    tl = Timeline()
+    assignment: Dict[int, List[Segment]] = {}
+    for job in scan:
+        idles = tl.idle_in(job.release, job.deadline)
+        placement = leftmost_fit_single(idles, job.length)
+        if placement is not None:
+            tl.book([placement])
+            assignment[job.id] = [placement]
+    return Schedule(jobs, assignment)
+
+
+def nonpreemptive_lsa_cs(
+    jobs: JobSet,
+    *,
+    order: str = "density",
+    return_all_classes: bool = False,
+) -> Schedule | Tuple[Schedule, Dict[int, Schedule]]:
+    """Classify-and-select around the en-bloc LSA, classes of ratio ≤ 2.
+
+    Section 5 mandates ``P(J_c) <= 2`` (base-2 geometric classes); the
+    best class's schedule is worth at least ``val(OPT_∞) / (3 log P)``.
+    """
+    if jobs.n == 0:
+        return (Schedule(jobs, {}), {}) if return_all_classes else Schedule(jobs, {})
+    classes = jobs.length_classes(2)
+    per_class: Dict[int, Schedule] = {}
+    best: Optional[Schedule] = None
+    for c, class_jobs in classes.items():
+        sched = nonpreemptive_lsa(class_jobs, order=order)
+        sched = Schedule(jobs, {i: list(sched[i]) for i in sched.scheduled_ids})
+        per_class[c] = sched
+        if best is None or sched.value > best.value:
+            best = sched
+    assert best is not None
+    if return_all_classes:
+        return best, per_class
+    return best
+
+
+def nonpreemptive_combined(jobs: JobSet) -> Schedule:
+    """The full k = 0 algorithm: max(best single job, classified en-bloc LSA).
+
+    The two branches certify the two arms of ``Θ(min{n, log P})``: the
+    single-job schedule is always worth ``>= val(J)/n >= OPT_∞/n``, and the
+    classified LSA is worth ``>= OPT_∞/(3 log P)``.
+    """
+    if jobs.n == 0:
+        return Schedule(jobs, {})
+    single = best_single_job(jobs)
+    classified = nonpreemptive_lsa_cs(jobs)
+    return single if single.value >= classified.value else classified

@@ -1,0 +1,293 @@
+"""The paper's lower-bound constructions, with analytic optima.
+
+**Figure 2 — geometric chain (k = 0, Section 5).**  ``n`` unit-value jobs
+whose lengths form a geometric progression with ratio 2, nested so that a
+single preemption per job lets *all* of them run, while any en-bloc
+placement of any job covers the common centre point — so a non-preemptive
+schedule fits exactly one job.  Price: ``n`` (and ``log P + 1``, since
+``P = 2^{n-1}``).
+
+**Appendix A — layered K-ary value tree (Theorem 3.20).**  ``L + 1``
+levels; level ``i`` holds ``K^i`` nodes of value ``K^{-i}`` (total value 1
+per level); every internal node has exactly ``K`` children.  With
+``K = 2k``, TM's optimal k-BAS is worth less than 2 while the tree is
+worth ``L + 1`` — the ``Ω(log_{k+1} n)`` loss.
+
+**Appendix B — nested job hierarchy (Theorems 4.3/4.13).**  Jobs in
+``L + 1`` levels; the ``m``-th job of level ``l`` has value ``K^{-l}``,
+length ``p(l) = P·(3K²)^{-l}`` and relative laxity ``λ = 1 + 1/(3K−1)``.
+Each job has ``K`` child jobs packed into its window by the recursive
+release formula; the construction is *exactly tight* — a job's window
+equals its own length plus the total load of its descendants — so all
+times here are exact :class:`fractions.Fraction` values and the EDF
+verification of ``OPT_∞ = L + 1`` carries no rounding slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.core.bas.forest import Forest
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.segment import Segment
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the k = 0 geometric chain
+# ---------------------------------------------------------------------------
+
+
+def geometric_chain(n: int) -> JobSet:
+    """The Figure 2 instance with ``n`` unit-value jobs (integer times).
+
+    Job ``i`` (1-based) has length ``2^i`` and window
+    ``[C - (2^i - 1), C + (2^i - 1)]`` around a common centre ``C = 2^n``
+    (times are scaled by 2 relative to the paper's picture to stay
+    integral).  Window width is ``2^{i+1} - 2``, i.e. laxity
+    ``2 - 2^{1-i} < 2``, so *any* en-bloc placement of any job covers the
+    centre slot ``[C - 1, C + 1]`` — no two jobs coexist non-preemptively —
+    while the two-piece nesting of
+    :func:`geometric_chain_one_preemption_schedule` fits all ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 jobs, got {n}")
+    centre = 2**n
+    jobs = []
+    for i in range(1, n + 1):
+        radius = 2**i - 1
+        jobs.append(
+            Job(id=i - 1, release=centre - radius, deadline=centre + radius, length=2**i, value=1.0)
+        )
+    return JobSet(jobs)
+
+
+def geometric_chain_one_preemption_schedule(n: int) -> Schedule:
+    """The witness 1-preemptive schedule accepting every chain job.
+
+    Job ``i`` runs in two pieces hugging its window's ends:
+    ``[C - (2^i - 1), C - (2^{i-1} - 1)]`` and
+    ``[C + (2^{i-1} - 1), C + (2^i - 1)]`` — each of length ``2^{i-1}``;
+    the innermost job's pieces touch at the centre and merge into one.
+    The pieces tile the full span, certifying ``OPT_1 = OPT_∞ = n``.
+    """
+    jobs = geometric_chain(n)
+    centre = 2**n
+    assignment: Dict[int, List[Segment]] = {}
+    for i in range(1, n + 1):
+        outer = 2**i - 1
+        inner = 2 ** (i - 1) - 1
+        assignment[i - 1] = [
+            Segment(centre - outer, centre - inner),
+            Segment(centre + inner, centre + outer),
+        ]
+    return Schedule(jobs, assignment)
+
+
+# ---------------------------------------------------------------------------
+# Appendix A: the layered K-ary value tree
+# ---------------------------------------------------------------------------
+
+
+def appendix_a_forest(K: int, L: int, *, scale: bool = True) -> Forest:
+    """The Appendix-A tree: levels ``0..L``, ``K^i`` nodes of value
+    ``K^{-i}`` per level, every internal node with ``K`` children.
+
+    With ``scale=True`` (default) values are multiplied by ``K^L`` so they
+    are exact integers (``K^{L-i}``); loss *ratios* are scale-invariant, so
+    every theorem statement transfers unchanged while the golden tests get
+    exact arithmetic.  ``scale=False`` gives the paper's literal
+    ``Fraction`` values.
+    """
+    if K < 2:
+        raise ValueError(f"the construction needs K >= 2, got {K}")
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+    parents: List[int] = [-1]
+    values: List = [K**L if scale else Fraction(1)]
+    level_nodes = [0]
+    for level in range(1, L + 1):
+        value = K ** (L - level) if scale else Fraction(1, K**level)
+        nxt: List[int] = []
+        for p in level_nodes:
+            for _ in range(K):
+                parents.append(p)
+                values.append(value)
+                nxt.append(len(parents) - 1)
+        level_nodes = nxt
+    return Forest(parents, values)
+
+
+# ---------------------------------------------------------------------------
+# Appendix B: the nested job hierarchy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppendixBInstance:
+    """The Appendix-B construction plus its analytic bookkeeping.
+
+    ``level_of[j]`` gives each job's level; ``children_of[j]`` the ids of
+    its K child jobs; ``opt_infty``/``opt_k_cap`` the closed forms of
+    Lemma B.2 (the latter for the ``k`` the instance was built for).
+    """
+
+    jobs: JobSet
+    K: int
+    L: int
+    k: int
+    level_of: Dict[int, int]
+    children_of: Dict[int, Tuple[int, ...]]
+
+    @property
+    def P(self) -> int:
+        """Length ratio: ``p(0)/p(L) = (3K²)^L``."""
+        return (3 * self.K**2) ** self.L
+
+    @property
+    def opt_infty(self) -> Fraction:
+        """Lemma B.2: all jobs are feasible together, value ``L + 1``."""
+        return Fraction(self.L + 1)
+
+    @property
+    def opt_k_cap(self) -> Fraction:
+        """Lemma B.2: ``OPT_k = Σ_{i=0}^{L} (k/K)^i < K/(K - k)``."""
+        ratio = Fraction(self.k, self.K)
+        return sum(ratio**i for i in range(self.L + 1))
+
+    def nested_optimal_schedule(self) -> Schedule:
+        """The witness ∞-preemptive schedule packing *every* job.
+
+        Built top-down: each job receives the part of its window not
+        covered by its children's windows.  For internal jobs that
+        complement is *exactly* the job's length (the construction is
+        zero-slack); leaf jobs have no children and get the leftmost
+        ``p(L)`` units of their window, leaving the bottom-level slack
+        idle.
+        """
+        jobs = self.jobs
+        assignment: Dict[int, List[Segment]] = {}
+        for job in jobs:
+            child_windows = [
+                (jobs[c].release, jobs[c].deadline) for c in self.children_of[job.id]
+            ]
+            child_windows.sort()
+            complement: List[Segment] = []
+            cursor = job.release
+            for lo, hi in child_windows:
+                if lo > cursor:
+                    complement.append(Segment(cursor, lo))
+                cursor = max(cursor, hi)
+            if job.deadline > cursor:
+                complement.append(Segment(cursor, job.deadline))
+            # Take the leftmost p units (a no-op for internal jobs).
+            segments: List[Segment] = []
+            need = job.length
+            for seg in complement:
+                if need <= 0:
+                    break
+                take = min(seg.length, need)
+                segments.append(Segment(seg.start, seg.start + take))
+                need -= take
+            if need > 0:  # pragma: no cover - construction guarantees fit
+                raise RuntimeError(f"job {job.id} does not fit its own complement")
+            assignment[job.id] = segments
+        return Schedule(jobs, assignment)
+
+
+def appendix_b_jobs(k: int, L: int, *, K: int | None = None) -> AppendixBInstance:
+    """Build the Appendix-B instance for preemption bound ``k`` and depth ``L``.
+
+    ``K`` defaults to the paper's tight choice ``2k``.  Level ``l`` holds
+    ``K^l`` jobs; the ``m``-th job of level ``l`` has
+
+    * value ``K^{-l}`` (scaled by ``K^L`` to integers — ratios unaffected),
+    * length ``p(l) = (3K²)^{L-l}`` (i.e. ``P·(3K²)^{-l}`` with
+      ``P = (3K²)^L`` and ``p(L) = 1``),
+    * laxity ``λ = 1 + 1/(3K - 1)``, so deadline ``r + p·λ``,
+    * release ``r(l+1, m') = r(l, m) + (m' - mK + 1)·p(l)/K - p(l+1)``
+      for its children ``m' = mK … (m+1)K - 1`` (``r(0,0) = 0``).
+
+    All times are exact ``Fraction``s; the construction is zero-slack.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if K is None:
+        K = 2 * k
+    if K <= k:
+        raise ValueError(f"need K > k for the value series to converge, got K={K}, k={k}")
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+
+    lam = 1 + Fraction(1, 3 * K - 1)
+    lengths = [Fraction((3 * K**2) ** (L - l)) for l in range(L + 1)]
+    value_scale = K**L
+
+    jobs: List[Job] = []
+    level_of: Dict[int, int] = {}
+    children_of: Dict[int, Tuple[int, ...]] = {}
+    releases: Dict[Tuple[int, int], Fraction] = {(0, 0): Fraction(0)}
+    ids: Dict[Tuple[int, int], int] = {}
+
+    next_id = 0
+    for l in range(L + 1):
+        p = lengths[l]
+        for m in range(K**l):
+            r = releases[(l, m)]
+            job = Job(
+                id=next_id,
+                release=r,
+                deadline=r + p * lam,
+                length=p,
+                value=value_scale // (K**l),
+            )
+            ids[(l, m)] = next_id
+            level_of[next_id] = l
+            jobs.append(job)
+            next_id += 1
+            if l < L:
+                p_child = lengths[l + 1]
+                for m2 in range(m * K, (m + 1) * K):
+                    offset = (m2 - m * K + 1) * p / K - p_child
+                    releases[(l + 1, m2)] = r + offset
+
+    for l in range(L + 1):
+        for m in range(K**l):
+            jid = ids[(l, m)]
+            if l < L:
+                children_of[jid] = tuple(ids[(l + 1, m2)] for m2 in range(m * K, (m + 1) * K))
+            else:
+                children_of[jid] = ()
+
+    return AppendixBInstance(
+        jobs=JobSet(jobs),
+        K=K,
+        L=L,
+        k=k,
+        level_of=level_of,
+        children_of=children_of,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-machine replication ("along a third axis")
+# ---------------------------------------------------------------------------
+
+
+def replicate_for_machines(jobs: JobSet, machines: int) -> JobSet:
+    """Replicate an instance ``machines`` times (identical copies).
+
+    The paper's closing remarks extend each lower bound to ``m`` machines
+    by multiplying the construction "along a third axis": each machine must
+    solve its own copy.  Ids are re-assigned as ``copy * n + original``.
+    """
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    n = jobs.n
+    out: List[Job] = []
+    for c in range(machines):
+        for j in jobs:
+            out.append(Job(c * n + j.id, j.release, j.deadline, j.length, j.value))
+    return JobSet(out)

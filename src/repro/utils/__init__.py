@@ -1,0 +1,39 @@
+"""Shared low-level utilities: numeric tolerance handling, logarithm helpers,
+deterministic RNG construction, and small functional helpers.
+
+Everything in :mod:`repro` that compares time coordinates goes through the
+helpers in :mod:`repro.utils.numeric` so that exact arithmetic (``int`` /
+:class:`fractions.Fraction`) and floating point coexist: exact inputs are
+compared exactly, floats are compared with a relative/absolute tolerance.
+"""
+
+from repro.utils.numeric import (
+    EPS,
+    is_exact,
+    leq,
+    geq,
+    lt,
+    gt,
+    eq,
+    near_zero,
+    log_base,
+    ceil_log,
+    floor_log,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "EPS",
+    "is_exact",
+    "leq",
+    "geq",
+    "lt",
+    "gt",
+    "eq",
+    "near_zero",
+    "log_base",
+    "ceil_log",
+    "floor_log",
+    "make_rng",
+    "spawn_rngs",
+]

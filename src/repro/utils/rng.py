@@ -1,0 +1,37 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic generator in :mod:`repro.instances` takes either a seed or a
+:class:`numpy.random.Generator`; this module centralises the conversion so
+experiments are reproducible from a single integer and sweeps can derive
+independent per-cell streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def make_rng(seed) -> np.random.Generator:
+    """Return a Generator from a seed, SeedSequence, or existing Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used by the sweep harness so each grid cell gets its own stream and
+    adding cells never perturbs the others.
+    """
+    ss = np.random.SeedSequence(seed if not isinstance(seed, np.random.SeedSequence) else seed.entropy)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def shuffled(items: Iterable, rng) -> list:
+    """Return a shuffled copy of ``items`` using ``rng`` (input untouched)."""
+    out = list(items)
+    make_rng(rng).shuffle(out)
+    return out

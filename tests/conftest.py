@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.scheduling.job import Job, JobSet, make_jobs
+
+# Keep hypothesis fast and deterministic in CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def simple_jobs() -> JobSet:
+    """Five hand-checkable jobs used across the substrate tests.
+
+    All five are EDF-feasible together (total work 27 inside [0, 28]).
+    """
+    return make_jobs(
+        [
+            (0, 12, 5, 6.0),
+            (1, 7, 4, 5.0),
+            (3, 9, 3, 4.0),
+            (2, 20, 6, 3.0),
+            (8, 28, 9, 7.0),
+        ]
+    )
+
+
+@pytest.fixture
+def overloaded_jobs() -> JobSet:
+    """Three jobs competing for the same tight window: only some fit."""
+    return make_jobs(
+        [
+            (0, 4, 4, 10.0),
+            (0, 4, 4, 7.0),
+            (0, 8, 4, 5.0),
+        ]
+    )
+
+
+@pytest.fixture
+def single_job() -> JobSet:
+    return make_jobs([(0, 10, 4, 2.0)])

@@ -1,0 +1,124 @@
+"""Golden tests: Appendix-A closed forms vs the running algorithms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bas.bounds import (
+    appendix_a_alg_value,
+    appendix_a_loss_lower_bound,
+    appendix_a_size,
+    appendix_a_tm_values,
+    appendix_a_total_value,
+    bas_loss_bound,
+)
+from repro.core.bas.tm import tm_optimal_bas, tm_values
+from repro.core.bas.verify import verify_bas
+from repro.instances.lower_bounds import appendix_a_forest
+
+
+class TestBoundFormulas:
+    def test_loss_bound_basic(self):
+        assert bas_loss_bound(8, 1) == pytest.approx(3.0)
+        assert bas_loss_bound(9, 2) == pytest.approx(2.0)
+
+    def test_loss_bound_clamped(self):
+        assert bas_loss_bound(1, 1) == 1.0
+
+    def test_loss_bound_rejects_k0(self):
+        with pytest.raises(ValueError):
+            bas_loss_bound(10, 0)
+
+    def test_size_formula(self):
+        assert appendix_a_size(2, 3) == 15
+        assert appendix_a_size(3, 2) == 13
+        assert appendix_a_size(1, 4) == 5
+
+    def test_total_value(self):
+        assert appendix_a_total_value(4) == 5
+
+
+class TestLemmaA2GoldenValues:
+    @pytest.mark.parametrize("k,K,L", [(1, 2, 3), (2, 4, 3), (3, 6, 2), (1, 3, 4)])
+    def test_tm_matches_closed_form_at_every_level(self, k, K, L):
+        forest = appendix_a_forest(K, L, scale=False)
+        t, m = tm_values(forest, k)
+        depths = forest.depths()
+        for v in range(forest.n):
+            t_expect, m_expect = appendix_a_tm_values(k, K, L, depths[v])
+            assert t[v] == t_expect, f"t mismatch at node {v} level {depths[v]}"
+            assert m[v] == m_expect, f"m mismatch at node {v} level {depths[v]}"
+
+    def test_t_always_beats_m(self):
+        # Lemma A.2's closing remark: t(v) > m(v) at every level.
+        for level in range(4):
+            t, m = appendix_a_tm_values(2, 4, 3, level)
+            assert t > m
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            appendix_a_tm_values(1, 2, 3, 4)
+
+
+class TestCorollaryA3:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_alg_value_below_cap(self, k):
+        K = 2 * k
+        for L in range(1, 6):
+            alg = appendix_a_alg_value(k, K, L)
+            assert alg < Fraction(K, K - k)
+
+    def test_alg_value_is_geometric_sum(self):
+        assert appendix_a_alg_value(1, 2, 3) == Fraction(15, 8)
+
+    def test_running_tm_equals_formula(self):
+        for k, L in [(1, 3), (2, 2), (3, 2)]:
+            K = 2 * k
+            forest = appendix_a_forest(K, L, scale=False)
+            bas = tm_optimal_bas(forest, k)
+            verify_bas(bas, k).assert_ok()
+            assert bas.value == appendix_a_alg_value(k, K, L)
+
+
+class TestTheorem320LowerBound:
+    def test_loss_grows_linearly_in_L(self):
+        # ALG stays below 2, so each extra level adds > 0.35 to the loss
+        # (approaching 1/2 per level as ALG -> K/(K-k) = 2).
+        losses = [appendix_a_loss_lower_bound(2, L) for L in range(1, 6)]
+        diffs = [b - a for a, b in zip(losses, losses[1:])]
+        assert all(d > 0.35 for d in diffs)
+        assert losses == sorted(losses)
+
+    def test_loss_exceeds_half_log(self):
+        # ALG < 2 means loss > (L+1)/2 — the exact inequality of the proof.
+        for k in (1, 2):
+            for L in (2, 3, 4):
+                assert appendix_a_loss_lower_bound(k, L) > (L + 1) / 2
+
+    def test_scaled_and_unscaled_forests_agree_on_loss(self):
+        k, K, L = 2, 4, 3
+        scaled = appendix_a_forest(K, L, scale=True)
+        exact = appendix_a_forest(K, L, scale=False)
+        loss_scaled = scaled.total_value / tm_optimal_bas(scaled, k).value
+        loss_exact = exact.total_value / tm_optimal_bas(exact, k).value
+        assert float(loss_scaled) == pytest.approx(float(loss_exact))
+
+
+class TestForestGenerator:
+    def test_structure(self):
+        f = appendix_a_forest(3, 2)
+        assert f.n == 13
+        assert f.degree(0) == 3
+        assert all(f.degree(v) in (0, 3) for v in range(f.n))
+
+    def test_level_values_scaled(self):
+        f = appendix_a_forest(2, 2, scale=True)
+        depths = f.depths()
+        for v in range(f.n):
+            assert f.value(v) == 2 ** (2 - depths[v])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            appendix_a_forest(1, 2)
+        with pytest.raises(ValueError):
+            appendix_a_forest(2, -1)

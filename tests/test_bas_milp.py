@@ -1,0 +1,76 @@
+"""Cross-validation: procedure TM vs the independent MILP oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.milp import kbas_milp, kbas_milp_value
+from repro.core.bas.tm import tm_optimal_value
+from repro.core.bas.verify import verify_bas
+from repro.instances.lower_bounds import appendix_a_forest
+from repro.instances.random_trees import random_forest
+
+
+class TestMilpBasics:
+    def test_single_node(self):
+        f = Forest([-1], [5])
+        bas = kbas_milp(f, 1)
+        assert bas.value == 5
+
+    def test_star_k1(self):
+        f = Forest.star(5, values=[1, 10, 10, 10, 10])
+        bas = kbas_milp(f, 1)
+        verify_bas(bas, 1).assert_ok()
+        assert bas.value == 40  # drop the root, keep every leaf
+
+    def test_path_keeps_all(self):
+        f = Forest.path(6)
+        assert kbas_milp_value(f, 1) == 6
+
+    def test_output_is_valid_bas(self):
+        f = Forest([-1, 0, 0, 0, 1, 3, 3, 4], [1, 9, 2, 3, 9, 4, 4, 9])
+        for k in (1, 2):
+            verify_bas(kbas_milp(f, k), k).assert_ok()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            kbas_milp(Forest.path(3), 0)
+
+    def test_empty_forest(self):
+        assert kbas_milp(Forest([], []), 1).value == 0
+
+
+class TestAgreementWithTM:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_random_forests(self, seed, k):
+        forest = random_forest(40, shape="mixed", trees=2, seed=seed)
+        tm_val = tm_optimal_value(forest, k)
+        milp_val = kbas_milp_value(forest, k)
+        assert milp_val == pytest.approx(tm_val, rel=1e-9)
+
+    def test_appendix_a_instance(self):
+        forest = appendix_a_forest(4, 3, scale=True)  # integer values
+        for k in (1, 2):
+            assert kbas_milp_value(forest, k) == pytest.approx(
+                float(tm_optimal_value(forest, k))
+            )
+
+
+@st.composite
+def small_forests(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    parents = [-1]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
+    values = [draw(st.integers(min_value=1, max_value=20)) for _ in range(n)]
+    k = draw(st.integers(min_value=1, max_value=3))
+    return Forest(parents, values), k
+
+
+@settings(max_examples=25)
+@given(small_forests())
+def test_property_tm_equals_milp(fk):
+    forest, k = fk
+    assert kbas_milp_value(forest, k) == pytest.approx(float(tm_optimal_value(forest, k)))

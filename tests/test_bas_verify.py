@@ -1,0 +1,84 @@
+"""Unit tests for the k-BAS verifier (degree bound + ancestor independence)."""
+
+import pytest
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+from repro.core.bas.verify import verify_bas
+
+
+@pytest.fixture
+def chain_tree():
+    # 0 -> 1 -> 2 -> 3 (path), plus 0 -> 4.
+    return Forest([-1, 0, 1, 2, 0], [1, 1, 1, 1, 1])
+
+
+class TestDegreeBound:
+    def test_within_bound(self):
+        f = Forest.star(4)
+        rep = verify_bas(SubForest(f, [0, 1, 2]), k=2)
+        assert rep.valid
+
+    def test_exceeds_bound(self):
+        f = Forest.star(4)
+        rep = verify_bas(SubForest(f, [0, 1, 2, 3]), k=2)
+        assert not rep.valid
+        assert any("degree" in v for v in rep.violations)
+
+    def test_degree_counts_only_retained_children(self):
+        f = Forest.star(5)
+        # Root keeps 2 of 4 children: induced degree 2 <= k.
+        assert verify_bas(SubForest(f, [0, 1, 2]), k=2).valid
+
+
+class TestAncestorIndependence:
+    def test_gap_violation(self, chain_tree):
+        # Keep 0 and 2 but drop 1: 2's component is a descendant of 0's.
+        rep = verify_bas(SubForest(chain_tree, [0, 2]), k=1)
+        assert not rep.valid
+        assert any("ancestor" in v for v in rep.violations)
+
+    def test_contiguous_chain_ok(self, chain_tree):
+        assert verify_bas(SubForest(chain_tree, [0, 1, 2, 3]), k=1).valid
+
+    def test_sibling_components_ok(self):
+        f = Forest([-1, 0, 0], [1, 1, 1])
+        # Root dropped, both children kept: independent components.
+        assert verify_bas(SubForest(f, [1, 2]), k=1).valid
+
+    def test_deep_gap_violation(self, chain_tree):
+        rep = verify_bas(SubForest(chain_tree, [0, 3]), k=1)
+        assert not rep.valid
+
+    def test_gap_then_no_retained_above_ok(self, chain_tree):
+        # 1 dropped but 0 also dropped: {2,3} is fine.
+        assert verify_bas(SubForest(chain_tree, [2, 3]), k=1).valid
+
+    def test_uncle_descendant_ok(self, chain_tree):
+        # Keep 4 (child of 0) and 2,3 — 4 is not an ancestor of 2.
+        assert verify_bas(SubForest(chain_tree, [4, 2, 3]), k=1).valid
+
+    def test_empty_subforest_valid(self, chain_tree):
+        assert verify_bas(SubForest(chain_tree, []), k=1).valid
+
+    def test_multiple_violations_reported(self):
+        f = Forest([-1, 0, 1, 2, 3, 4], [1] * 6)  # path of 6
+        rep = verify_bas(SubForest(f, [0, 2, 4]), k=1)
+        assert not rep.valid
+        assert len(rep.violations) == 2  # nodes 2 and 4 both gapped
+
+    def test_assert_ok_raises(self, chain_tree):
+        with pytest.raises(AssertionError, match="ancestor"):
+            verify_bas(SubForest(chain_tree, [0, 2]), k=1).assert_ok()
+
+
+class TestForestInput:
+    def test_independent_trees_never_conflict(self):
+        f = Forest([-1, 0, -1, 2], [1, 1, 1, 1])
+        assert verify_bas(SubForest(f, [0, 1, 2, 3]), k=1).valid
+
+    def test_violation_confined_to_one_tree(self):
+        f = Forest([-1, 0, 1, -1, 3], [1] * 5)
+        rep = verify_bas(SubForest(f, [0, 2, 3, 4]), k=1)
+        assert not rep.valid
+        assert len(rep.violations) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for the budget-EDF heuristic baseline."""
+
+import pytest
+
+from repro.core.budget_edf import budget_edf, budget_edf_simulate
+from repro.instances.lower_bounds import geometric_chain
+from repro.instances.workloads import mixed_server_workload
+from repro.scheduling.edf import edf_feasible
+from repro.scheduling.job import make_jobs
+from repro.scheduling.segment import Segment
+from repro.scheduling.verify import verify_schedule
+
+
+class TestSimulator:
+    def test_plain_nested_case(self):
+        jobs = make_jobs([(0, 20, 10), (2, 5, 3)])
+        s, missed = budget_edf_simulate(jobs, 1)
+        assert missed == []
+        verify_schedule(s, k=1).assert_ok()
+        assert s[1] == (Segment(2, 5),)
+
+    def test_k0_suppresses_preemption(self):
+        jobs = make_jobs([(0, 20, 10), (2, 5, 3)])
+        s, missed = budget_edf_simulate(jobs, 0)
+        assert missed == [1]  # the arrival waited and died
+        assert s[0] == (Segment(0, 10),)
+
+    def test_large_k_degenerates_to_edf(self):
+        jobs = make_jobs([(0, 12, 5), (1, 7, 4), (3, 9, 3)])
+        s, missed = budget_edf_simulate(jobs, 10)
+        assert missed == [] and edf_feasible(jobs)
+        verify_schedule(s).assert_ok()
+
+    def test_budget_exhaustion_mid_chain(self):
+        # Three arrivals would preempt job 0 three times; k=1 allows one.
+        jobs = make_jobs(
+            [(0, 40, 10), (2, 6, 2), (14, 18, 2), (26, 30, 2)]
+        )
+        s, missed = budget_edf_simulate(jobs, 1)
+        verify_schedule(s, k=1).assert_ok()
+        assert len(s[0]) <= 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            budget_edf_simulate(make_jobs([(0, 4, 2)]), -1)
+
+    def test_empty(self):
+        s, missed = budget_edf_simulate(make_jobs([]), 1)
+        assert missed == [] and len(s) == 0
+
+
+class TestAdmission:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_output_feasible_within_budget(self, k):
+        jobs = mixed_server_workload(25, seed=0)
+        s = budget_edf(jobs, k)
+        verify_schedule(s, k=k).assert_ok()
+
+    def test_value_monotone_in_k(self):
+        jobs = mixed_server_workload(30, seed=1)
+        vals = [budget_edf(jobs, k).value for k in (0, 1, 3)]
+        # Not a theorem (the heuristic is not monotone in general) but holds
+        # on this seed; guards against gross regressions.
+        assert vals[0] <= vals[-1] + 1e-9
+
+    def test_chain_with_one_preemption(self):
+        jobs = geometric_chain(5)
+        s = budget_edf(jobs, 1)
+        verify_schedule(s, k=1).assert_ok()
+        # The nested chain is budget-EDF's best case: EDF uses exactly one
+        # preemption per job, so everything is kept.
+        assert s.value == 5.0
+
+    def test_chain_k0_keeps_one(self):
+        jobs = geometric_chain(5)
+        s = budget_edf(jobs, 0)
+        verify_schedule(s, k=0).assert_ok()
+        assert s.value == 1.0
+
+    def test_value_order_variant(self):
+        jobs = mixed_server_workload(20, seed=2)
+        s = budget_edf(jobs, 1, order="value")
+        verify_schedule(s, k=1).assert_ok()
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            budget_edf(make_jobs([(0, 4, 2)]), 1, order="x")

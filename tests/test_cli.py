@@ -1,0 +1,49 @@
+"""Unit tests for the CLI front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e1", "e6", "e7a", "e10"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "e7a"]) == 0
+        out = capsys.readouterr().out
+        assert "geometric chain" in out
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "e7a", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("###")
+        assert "|" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "e1", "e7a"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix-A" in out and "geometric chain" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e99"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT_inf" in out
+        assert "k=0" in out and "k=2" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,107 @@
+"""Unit tests for Algorithm 3 (k-PreemptionCombined) and the front door."""
+
+import pytest
+
+from repro.core.combined import k_preemption_combined, schedule_k_bounded
+from repro.instances.workloads import mixed_server_workload
+from repro.scheduling.edf import edf_schedule
+from repro.scheduling.exact import opt_infty_exact
+from repro.scheduling.job import make_jobs
+from repro.scheduling.verify import verify_schedule
+from repro.utils.numeric import log_base
+
+
+class TestKPreemptionCombined:
+    def test_strict_only_instance(self):
+        jobs = make_jobs([(0, 5, 4, 2.0), (1, 4, 2, 1.0)])  # λ <= 2
+        opt = edf_schedule(jobs).schedule
+        res = k_preemption_combined(jobs, opt, 1)
+        assert res.lax_jobs.n == 0
+        assert res.schedule.value == res.strict_schedule.value
+        verify_schedule(res.schedule, k=1).assert_ok()
+
+    def test_lax_only_instance(self):
+        jobs = make_jobs([(0, 12, 3, 2.0), (0, 20, 4, 1.0)])  # λ >= 4
+        opt = edf_schedule(jobs).schedule
+        res = k_preemption_combined(jobs, opt, 1)
+        assert res.strict_jobs.n == 0
+        assert res.schedule.value == res.lax_schedule.value
+        verify_schedule(res.schedule, k=1).assert_ok()
+
+    def test_mixed_takes_better_branch(self):
+        jobs = mixed_server_workload(30, seed=0)
+        opt = edf_schedule(jobs).schedule if edf_schedule(jobs).feasible else None
+        if opt is None:
+            from repro.scheduling.edf import edf_accept_max_subset
+
+            opt = edf_accept_max_subset(jobs)
+        res = k_preemption_combined(jobs, opt, 2)
+        assert res.schedule.value == max(
+            res.strict_schedule.value, res.lax_schedule.value
+        )
+        verify_schedule(res.schedule, k=2).assert_ok()
+
+    def test_boundary_jobs_go_strict(self):
+        # λ exactly k+1 routes to the strict branch (J1 = {λ <= k+1}).
+        jobs = make_jobs([(0, 4, 2, 1.0)])  # λ = 2 = k+1 for k=1
+        opt = edf_schedule(jobs).schedule
+        res = k_preemption_combined(jobs, opt, 1)
+        assert res.strict_jobs.n == 1 and res.lax_jobs.n == 0
+
+    def test_k0_rejected(self):
+        jobs = make_jobs([(0, 4, 2)])
+        opt = edf_schedule(jobs).schedule
+        with pytest.raises(ValueError):
+            k_preemption_combined(jobs, opt, 0)
+
+    def test_result_preemption_budget(self):
+        jobs = mixed_server_workload(25, seed=1)
+        from repro.scheduling.edf import edf_accept_max_subset
+
+        opt = edf_accept_max_subset(jobs)
+        for k in (1, 2, 3):
+            res = k_preemption_combined(jobs, opt, k)
+            assert res.schedule.max_preemptions <= k
+
+
+class TestScheduleKBounded:
+    def test_small_instance_with_exact_opt(self):
+        jobs = make_jobs(
+            [(0, 12, 5, 6.0), (1, 7, 4, 5.0), (3, 9, 3, 4.0), (2, 20, 6, 3.0)]
+        )
+        s = schedule_k_bounded(jobs, 2)
+        verify_schedule(s, k=2).assert_ok()
+        assert s.value > 0
+
+    def test_price_bound_holds_vs_exact_opt(self):
+        for seed_jobs in [
+            make_jobs([(0, 6, 3, 2.0), (1, 4, 2, 3.0), (3, 12, 3, 1.0), (2, 9, 2, 2.0)]),
+            make_jobs([(0, 4, 2, 1.0), (0, 8, 4, 2.0), (4, 10, 3, 3.0)]),
+        ]:
+            opt = opt_infty_exact(seed_jobs)
+            for k in (1, 2):
+                s = schedule_k_bounded(seed_jobs, k)
+                bound_n = max(1.0, log_base(seed_jobs.n, k + 1))
+                bound_P = 2 * 6 * max(1.0, log_base(seed_jobs.length_ratio, k + 1))
+                bound = max(bound_n, bound_P)  # combined alg honours the max
+                assert opt.value / s.value <= bound + 1e-9
+
+    def test_feasible_set_keeps_everything_when_k_large(self):
+        # All strict for k=5 (λ <= 6), so the whole set rides the reduction
+        # branch; k exceeds the forest degree, so nothing is pruned.
+        jobs = make_jobs([(0, 8, 4, 1.0), (2, 9, 3, 1.0), (11, 20, 5, 1.0)])
+        s = schedule_k_bounded(jobs, 5)
+        assert s.value == pytest.approx(jobs.total_value)
+
+    def test_large_instance_greedy_path(self):
+        jobs = mixed_server_workload(40, seed=2)
+        s = schedule_k_bounded(jobs, 2, exact_opt=False)
+        verify_schedule(s, k=2).assert_ok()
+
+    def test_k0_rejected(self):
+        with pytest.raises(ValueError, match="nonpreemptive"):
+            schedule_k_bounded(make_jobs([(0, 4, 2)]), 0)
+
+    def test_empty(self):
+        s = schedule_k_bounded(make_jobs([]), 1)
+        assert len(s) == 0

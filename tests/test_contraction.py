@@ -1,0 +1,146 @@
+"""Unit tests for MaxContract and LevelledContraction (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.bas.bounds import bas_loss_bound
+from repro.core.bas.contraction import levelled_contraction, max_contract
+from repro.core.bas.forest import Forest
+from repro.core.bas.tm import tm_optimal_value
+from repro.core.bas.verify import verify_bas
+
+
+class TestMaxContract:
+    def test_path_contracts_to_root(self):
+        # Every node of a path is 1-contractible: one leaf survives.
+        f = Forest.path(6)
+        leaves, absorbed = max_contract(f, 1)
+        assert leaves == [0]
+        assert sorted(absorbed[0]) == list(range(6))
+
+    def test_star_contracts_only_leaves(self):
+        # Root of a 5-star has degree 5 > k: leaves stay separate.
+        f = Forest.star(6)
+        leaves, absorbed = max_contract(f, 2)
+        assert sorted(leaves) == [1, 2, 3, 4, 5]
+        assert all(absorbed[v] == [v] for v in leaves)
+
+    def test_complete_binary_k1(self):
+        # Degree 2 > 1 everywhere internal: only the real leaves survive.
+        f = Forest.complete(2, 3)
+        leaves, _ = max_contract(f, 1)
+        assert len(leaves) == 8
+
+    def test_complete_binary_k2_contracts_whole_tree(self):
+        f = Forest.complete(2, 3)
+        leaves, absorbed = max_contract(f, 2)
+        assert leaves == [0]
+        assert len(absorbed[0]) == f.n
+
+    def test_observation_3_13_internal_nodes_heavy(self):
+        # After MaxContract every surviving internal node has > k children.
+        f = Forest([-1, 0, 0, 0, 1, 1, 2, 3, 3, 3], [1] * 10)
+        leaves, _ = max_contract(f, 1)
+        leafset = set(leaves)
+        # Survivors: node 0 and any internal nodes not contracted.
+        # Check via reconstructing survivor degrees: every survivor not in
+        # the leaf set must have at least k+1 surviving children... verified
+        # indirectly: no leaf's parent is itself contractible into a leaf.
+        for v in leaves:
+            p = f.parent(v)
+            if p != -1:
+                assert p not in leafset
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            max_contract(Forest.path(3), 0)
+
+    def test_value_conservation(self):
+        f = Forest([-1, 0, 0, 1, 1], [5, 4, 3, 2, 1])
+        leaves, absorbed = max_contract(f, 2)
+        # k=2 contracts everything into the root.
+        assert leaves == [0]
+        assert sum(f.value(v) for v in absorbed[0]) == f.total_value
+
+
+class TestLevelledContractionLayers:
+    def test_layers_partition_nodes(self):
+        f = Forest.complete(3, 3)
+        trace = levelled_contraction(f, 2)
+        all_nodes = sorted(
+            v for layer in trace.layers for v in layer.all_original_nodes
+        )
+        assert all_nodes == list(range(f.n))
+
+    def test_layers_partition_value_lemma_3_17(self):
+        f = Forest.complete(3, 4)
+        trace = levelled_contraction(f, 1)
+        assert sum(layer.value for layer in trace.layers) == pytest.approx(
+            f.total_value
+        )
+
+    def test_iteration_bound_lemma_3_18(self):
+        for branching, k in [(2, 1), (3, 1), (3, 2), (4, 2)]:
+            f = Forest.complete(branching, 4)
+            trace = levelled_contraction(f, k)
+            assert trace.num_iterations <= math.log(f.n) / math.log(k + 1) + 1
+
+    def test_layer_sizes_decay_geometrically(self):
+        f = Forest.complete(3, 5)
+        trace = levelled_contraction(f, 1)
+        sizes = trace.layer_sizes()
+        for a, b in zip(sizes, sizes[1:]):
+            assert a >= 2 * b  # |S_{i+1}| <= |S_i| / (k+1)
+
+    def test_best_layer_is_max_value(self):
+        f = Forest.complete(2, 4)
+        trace = levelled_contraction(f, 1)
+        assert trace.best_layer.value == max(trace.layer_values())
+
+
+class TestLevelledContractionResult:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_result_is_valid_bas(self, k):
+        f = Forest([-1, 0, 0, 0, 1, 1, 2, 3, 3, 3, 6, 6, 6, 6], [1] * 14)
+        bas = levelled_contraction(f, k).best_subforest()
+        verify_bas(bas, k).assert_ok()
+
+    def test_loss_within_theorem_3_9(self):
+        for branching in (2, 3, 4):
+            f = Forest.complete(branching, 4)
+            for k in (1, 2):
+                bas = levelled_contraction(f, k).best_subforest()
+                loss = f.total_value / bas.value
+                assert loss <= bas_loss_bound(f.n, k) + 1e-9
+
+    def test_never_beats_tm(self):
+        f = Forest([-1, 0, 0, 0, 1, 3, 3, 4], [1, 9, 2, 3, 9, 4, 4, 9])
+        for k in (1, 2):
+            lc = levelled_contraction(f, k).best_subforest().value
+            assert lc <= tm_optimal_value(f, k) + 1e-9
+
+    def test_path_single_iteration(self):
+        f = Forest.path(8)
+        trace = levelled_contraction(f, 1)
+        assert trace.num_iterations == 1
+        assert trace.best_subforest().value == f.total_value
+
+    def test_forest_input(self):
+        f = Forest([-1, 0, 0, -1, 3, 3], [1, 1, 1, 1, 1, 1])
+        trace = levelled_contraction(f, 2)
+        assert trace.best_subforest().value == f.total_value
+
+    def test_single_node(self):
+        f = Forest([-1], [5])
+        trace = levelled_contraction(f, 1)
+        assert trace.num_iterations == 1
+        assert trace.best_subforest().value == 5
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            levelled_contraction(Forest([], []), 1)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            levelled_contraction(Forest.path(3), 0)

@@ -1,0 +1,163 @@
+"""Unit and property tests for the §4.3.2 proof machinery (covering.py)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.covering import (
+    double_cover,
+    heavier_parity_class,
+    lemma_4_12_b0,
+    lsa_busy_segment_floor,
+    parity_split,
+    prefix_dominance,
+    rejected_window_load,
+    verify_double_cover,
+    weighted_sums,
+)
+from repro.core.lsa import lsa
+from repro.instances.random_jobs import random_lax_jobs
+from repro.scheduling.job import make_jobs
+from repro.scheduling.segment import Segment
+
+
+class TestDoubleCover:
+    def test_single_interval(self):
+        iv = [Segment(0, 10)]
+        cover = double_cover(iv)
+        assert cover == iv
+        assert verify_double_cover(iv, cover)
+
+    def test_chain_overlap(self):
+        iv = [Segment(0, 4), Segment(3, 7), Segment(6, 10)]
+        cover = double_cover(iv)
+        assert verify_double_cover(iv, cover)
+
+    def test_redundant_intervals_dropped(self):
+        # Middle intervals nested inside big ones should not inflate cover.
+        iv = [Segment(0, 10), Segment(2, 3), Segment(4, 5), Segment(8, 14)]
+        cover = double_cover(iv)
+        assert verify_double_cover(iv, cover)
+        assert len(cover) <= 2
+
+    def test_disjoint_components(self):
+        iv = [Segment(0, 2), Segment(5, 8), Segment(6, 9)]
+        cover = double_cover(iv)
+        assert verify_double_cover(iv, cover)
+
+    def test_empty(self):
+        assert double_cover([]) == []
+        assert verify_double_cover([], [])
+
+    def test_triple_overlap_reduced(self):
+        # Three intervals all covering [4,5]: the cover keeps at most two.
+        iv = [Segment(0, 6), Segment(3, 8), Segment(4, 10)]
+        cover = double_cover(iv)
+        assert verify_double_cover(iv, cover)
+
+    def test_verify_rejects_overcover(self):
+        iv = [Segment(0, 6), Segment(3, 8), Segment(4, 10)]
+        assert not verify_double_cover(iv, iv)  # all three overlap at 4.5
+
+    def test_verify_rejects_undercover(self):
+        iv = [Segment(0, 4), Segment(6, 9)]
+        assert not verify_double_cover(iv, [Segment(0, 4)])
+
+
+@st.composite
+def interval_families(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    out = []
+    for _ in range(n):
+        a = draw(st.integers(min_value=0, max_value=60))
+        w = draw(st.integers(min_value=1, max_value=20))
+        out.append(Segment(a, a + w))
+    return out
+
+
+@given(interval_families())
+def test_double_cover_property(ivs):
+    cover = double_cover(ivs)
+    assert verify_double_cover(ivs, cover)
+    # chosen intervals come from the family
+    assert all(c in ivs for c in cover)
+
+
+@given(interval_families())
+def test_parity_classes_disjoint_property(ivs):
+    cover = double_cover(ivs)
+    for fam in parity_split(cover):
+        ordered = sorted(fam, key=lambda s: s.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.overlaps(b)
+
+
+@given(interval_families())
+def test_heavier_class_at_least_half(ivs):
+    cover = double_cover(ivs)
+    if not cover:
+        return
+    heavy = heavier_parity_class(cover)
+    total = sum(s.length for s in cover)
+    assert sum(s.length for s in heavy) * 2 >= total
+
+
+class TestPrefixDominance:
+    def test_premise_checker(self):
+        a = [3.0, 1.0, 2.0, 1.0]
+        b = [4.0, 3.0, 2.0, 1.0]
+        assert prefix_dominance(a, b, X=[0, 2], Y=[1, 3], alpha=1.0)
+
+    def test_premise_fails_on_bad_prefix(self):
+        a = [1.0, 5.0]
+        b = [2.0, 1.0]
+        assert not prefix_dominance(a, b, X=[1], Y=[0], alpha=1.0)
+
+    def test_conclusion_follows_empirically(self):
+        # When the premise holds, the weighted conclusion must too.
+        import itertools
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            n = rng.randint(2, 6)
+            a = [rng.uniform(0.1, 5) for _ in range(n)]
+            b = sorted((rng.uniform(0, 3) for _ in range(n)), reverse=True)
+            idx = list(range(n))
+            X = [i for i in idx if rng.random() < 0.5]
+            Y = [i for i in idx if i not in X]
+            alpha = rng.uniform(0.1, 2.0)
+            if prefix_dominance(a, b, X, Y, alpha):
+                sx, sy = weighted_sums(a, b, X, Y)
+                assert sx >= alpha * sy - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            prefix_dominance([1], [1, 2], [], [], 1)
+        with pytest.raises(ValueError, match="non-increasing"):
+            prefix_dominance([1, 1], [1, 2], [], [], 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            prefix_dominance([1, 1], [1, -1], [], [], 1)
+
+
+class TestLsaInvariants:
+    def test_busy_floor_on_lsa(self):
+        jobs = random_lax_jobs(40, 2, length_ratio=2.9, seed=0)
+        sched = lsa(jobs, 2)
+        assert lsa_busy_segment_floor(sched, jobs)
+
+    def test_rejected_window_load(self):
+        # Three identical jobs fighting for [0, 6]: one fits, two rejected,
+        # and each rejected window is 4/6-loaded by the winner.
+        jobs = make_jobs([(0, 6, 4, 9.0), (0, 6, 4, 8.0), (0, 6, 4, 1.0)])
+        sched = lsa(jobs, 0, enforce_laxity=False)
+        rejected = [j for j in jobs if j.id not in sched]
+        assert len(rejected) == 2
+        for j in rejected:
+            assert rejected_window_load(sched, j) == pytest.approx(4 / 6)
+
+    def test_b0_formula(self):
+        assert lemma_4_12_b0(2.0, 1) == pytest.approx(1 / 3)
+        # Within a class (P <= k+1) the remark's 1/3 floor holds.
+        for k in (1, 2, 5):
+            assert lemma_4_12_b0(k + 1, k) >= 1 / 3 - 1e-12

@@ -1,0 +1,141 @@
+"""Unit tests for the EDF simulator and feasibility oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
+from repro.scheduling.job import make_jobs
+from repro.scheduling.laminar import is_laminar
+from repro.scheduling.segment import Segment
+from repro.scheduling.verify import verify_schedule
+
+
+class TestBasicSimulation:
+    def test_single_job(self):
+        jobs = make_jobs([(0, 10, 4)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        assert res.schedule[0] == (Segment(0, 4),)
+
+    def test_two_sequential(self):
+        jobs = make_jobs([(0, 4, 2), (4, 8, 2)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        assert res.schedule[0] == (Segment(0, 2),)
+        assert res.schedule[1] == (Segment(4, 6),)
+
+    def test_machine_idles_between_releases(self):
+        jobs = make_jobs([(0, 2, 1), (10, 12, 1)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        assert res.schedule[1] == (Segment(10, 11),)
+
+    def test_empty_jobset(self):
+        res = edf_schedule(make_jobs([]))
+        assert res.feasible and len(res.schedule) == 0
+
+
+class TestPreemptionBehaviour:
+    def test_later_tighter_job_preempts(self):
+        jobs = make_jobs([(0, 20, 10), (2, 5, 3)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        # Job 0 runs [0,2], job 1 preempts for [2,5], job 0 resumes [5,13].
+        assert res.schedule[1] == (Segment(2, 5),)
+        assert res.schedule[0] == (Segment(0, 2), Segment(5, 13))
+
+    def test_equal_deadline_tiebreak_by_id(self):
+        jobs = make_jobs([(0, 10, 3), (0, 10, 3)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        assert res.schedule[0] == (Segment(0, 3),)
+        assert res.schedule[1] == (Segment(3, 6),)
+
+    def test_no_idle_while_pending(self):
+        jobs = make_jobs([(0, 30, 5), (1, 8, 4), (2, 25, 5)])
+        res = edf_schedule(jobs)
+        assert res.feasible
+        busy = res.schedule.busy_segments()
+        assert busy[0] == Segment(0, 14)  # one contiguous busy block
+
+
+class TestFeasibility:
+    def test_feasible_set(self, simple_jobs):
+        assert edf_feasible(simple_jobs)
+
+    def test_infeasible_overload(self):
+        jobs = make_jobs([(0, 4, 4), (0, 4, 4)])
+        assert not edf_feasible(jobs)
+
+    def test_miss_reported(self):
+        jobs = make_jobs([(0, 4, 4), (0, 4, 4)])
+        res = edf_schedule(jobs, stop_on_miss=False)
+        assert not res.feasible
+        assert len(res.missed) == 1
+
+    def test_stop_on_miss_aborts_early(self):
+        jobs = make_jobs([(0, 4, 4), (0, 4, 4), (100, 104, 1)])
+        res = edf_schedule(jobs, stop_on_miss=True)
+        assert not res.feasible
+
+    def test_exact_tight_instance(self):
+        # Zero-slack: two jobs exactly fill [0, 2] with Fraction coordinates.
+        jobs = make_jobs(
+            [
+                (Fraction(0), Fraction(2), Fraction(1)),
+                (Fraction(0), Fraction(2), Fraction(1)),
+            ]
+        )
+        assert edf_feasible(jobs)
+
+    def test_exact_tight_infeasible_by_epsilon(self):
+        jobs = make_jobs(
+            [
+                (Fraction(0), Fraction(2), Fraction(1)),
+                (Fraction(0), Fraction(2), Fraction(1) + Fraction(1, 10**9)),
+            ]
+        )
+        assert not edf_feasible(jobs)
+
+
+class TestScheduleQuality:
+    def test_output_verifies(self, simple_jobs):
+        res = edf_schedule(simple_jobs)
+        verify_schedule(res.schedule).assert_ok()
+
+    def test_output_is_laminar(self, simple_jobs):
+        res = edf_schedule(simple_jobs)
+        assert is_laminar(res.schedule)
+
+    def test_all_value_captured_when_feasible(self, simple_jobs):
+        res = edf_schedule(simple_jobs)
+        assert res.schedule.value == pytest.approx(simple_jobs.total_value)
+
+
+class TestGreedyAdmission:
+    def test_feasible_set_fully_accepted(self, simple_jobs):
+        s = edf_accept_max_subset(simple_jobs)
+        assert s.value == pytest.approx(simple_jobs.total_value)
+
+    def test_overload_drops_lowest_priority(self, overloaded_jobs):
+        s = edf_accept_max_subset(overloaded_jobs, order="density")
+        verify_schedule(s).assert_ok()
+        # Jobs 0 (density 2.5) and 2 (1.25) fit; job 1 conflicts with 0.
+        assert s.scheduled_ids == [0, 2]
+
+    def test_value_order(self, overloaded_jobs):
+        s = edf_accept_max_subset(overloaded_jobs, order="value")
+        assert 0 in s  # highest value kept first
+
+    def test_laxity_order(self, overloaded_jobs):
+        s = edf_accept_max_subset(overloaded_jobs, order="laxity")
+        verify_schedule(s).assert_ok()
+
+    def test_unknown_order(self, simple_jobs):
+        with pytest.raises(ValueError):
+            edf_accept_max_subset(simple_jobs, order="bogus")
+
+    def test_result_rehomed_to_full_instance(self, overloaded_jobs):
+        s = edf_accept_max_subset(overloaded_jobs)
+        assert s.jobs is overloaded_jobs

@@ -1,0 +1,179 @@
+"""Smoke + shape tests for the experiment entry points (small parameters).
+
+Each experiment asserts its own paper bounds internally while running;
+these tests additionally check the *shape* of the returned series — who
+wins, what grows, what stays flat — which is the reproduction's contract.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    e1_bas_lower_bound,
+    e2_bas_upper_bound,
+    e3_reduction_roundtrip,
+    e4_price_vs_n,
+    e5_price_vs_P,
+    e6_price_lower_bound,
+    e7_k0_geometric_chain,
+    e7_k0_upper_bound,
+    e8_multimachine,
+    e9_runtime_scaling,
+    e10_ablations,
+    run_experiment,
+)
+
+
+class TestE1:
+    def test_loss_monotone_in_L(self):
+        t = e1_bas_lower_bound(k_values=(2,), L_values=(1, 2, 3, 4))
+        losses = t.column("loss")
+        assert losses == sorted(losses)
+
+    def test_alg_value_below_cap(self):
+        t = e1_bas_lower_bound(k_values=(1, 2), L_values=(2, 3))
+        for alg, cap in zip(t.column("TM value"), t.column("cap K/(K-k)")):
+            assert alg < cap
+
+    def test_loss_below_upper_bound(self):
+        t = e1_bas_lower_bound(k_values=(1,), L_values=(2, 4))
+        for loss, bound in zip(t.column("loss"), t.column("bound log_{k+1} n")):
+            assert loss <= bound + 1e-9
+
+
+class TestE2:
+    def test_runs_and_bounds_hold(self):
+        t = e2_bas_upper_bound(n_values=(60, 240), k_values=(1, 2), repeats=2)
+        for tm, lc, bound in zip(
+            t.column("TM loss"), t.column("LC loss"), t.column("bound log_{k+1} n")
+        ):
+            assert tm <= lc + 1e-9 <= bound + 1.0
+
+    def test_higher_k_less_loss(self):
+        t = e2_bas_upper_bound(
+            n_values=(240,), k_values=(1, 4), shapes=("attachment",), repeats=2
+        )
+        losses = t.column("TM loss")
+        assert losses[1] <= losses[0] + 1e-9
+
+
+class TestE3:
+    def test_ratios_above_bound(self):
+        t = e3_reduction_roundtrip(depths=(1, 2), branchings=(2,), k_values=(1,))
+        for ratio, bound in zip(
+            t.column("kept value ratio"), t.column("bound 1/log_{k+1} n")
+        ):
+            assert ratio >= bound - 1e-9
+
+    def test_budget_column(self):
+        t = e3_reduction_roundtrip(depths=(2,), branchings=(3,), k_values=(1, 2))
+        for segs, budget in zip(t.column("max segs"), t.column("budget k+1")):
+            assert segs <= budget
+
+
+class TestE4:
+    def test_all_within_bound(self):
+        t = e4_price_vs_n(n_values=(6, 9), k_values=(1,), repeats=2)
+        assert all(t.column("within"))
+
+    def test_higher_k_cheaper(self):
+        t = e4_price_vs_n(n_values=(9,), k_values=(1, 2), repeats=2)
+        prices = t.column("price")
+        # Not guaranteed per-instance, but holds on averages here.
+        assert prices[1] <= prices[0] + 0.5
+
+
+class TestE5:
+    def test_all_within_bound(self):
+        t = e5_price_vs_P(P_values=(4.0, 16.0), k_values=(1, 2), n=30, repeats=2)
+        assert all(t.column("within"))
+
+    def test_price_grows_with_P(self):
+        t = e5_price_vs_P(P_values=(4.0, 64.0), k_values=(1,), n=40, repeats=2)
+        prices = t.column("price")
+        assert prices[-1] >= prices[0] - 0.2
+
+
+class TestE6:
+    def test_price_grows_with_L(self):
+        t = e6_price_lower_bound(k_values=(1,), L_values=(1, 2, 3))
+        prices = t.column("price")
+        assert prices == sorted(prices)
+        assert prices[-1] > 2.0
+
+    def test_our_alg_hits_the_cap(self):
+        t = e6_price_lower_bound(k_values=(1, 2), L_values=(1, 2))
+        for alg, cap in zip(t.column("ALG_k (ours)"), t.column("OPT_k cap")):
+            assert alg == pytest.approx(cap)
+
+
+class TestE7:
+    def test_chain_price_equals_n(self):
+        t = e7_k0_geometric_chain(n_values=(2, 5))
+        assert t.column("price") == [2.0, 5.0]
+
+    def test_upper_bound_within(self):
+        t = e7_k0_upper_bound(n=25, P_values=(4.0, 16.0), repeats=2)
+        assert all(t.column("within"))
+
+
+class TestE8E9E10:
+    def test_e8_structure(self):
+        t = e8_multimachine(machines_values=(1, 2), k=1, n=20)
+        assert len(t.rows) == 4  # two instances x two machine counts
+
+    def test_e9_linear_ish(self):
+        t = e9_runtime_scaling(n_values=(500, 2000), k=2)
+        per_node = t.column("TM us/node")
+        # Per-node cost should not explode by more than ~4x across 4x sizes.
+        assert per_node[-1] <= per_node[0] * 4 + 5
+
+    def test_e10_tm_beats_lc(self):
+        t = e10_ablations(n=30, repeats=2)
+        rows = {(r[0], r[1]): r[3] for r in t.rows}
+        assert rows[("k-BAS algorithm", "TM (optimal)")] >= rows[
+            ("k-BAS algorithm", "LevelledContraction")
+        ]
+
+
+class TestE11E12:
+    def test_e11_pipeline_wins_adversarial(self):
+        from repro.analysis.experiments import e11_extensions
+
+        t = e11_extensions(k=2, n=20, repeats=1)
+        rows = {(r[0], r[1]): r[4] for r in t.rows}
+        adv = "appendix-B (adversarial)"
+        assert rows[(adv, "pipeline (Alg 3)")] >= rows[(adv, "budget-EDF (no bound)")]
+
+    def test_e13_charging_holds(self):
+        from repro.analysis.experiments import e13_charging_argument
+
+        t = e13_charging_argument(k_values=(1, 2), n=40, repeats=1)
+        assert all(t.column("busy-floor ok"))
+        assert all(t.column("cover ok"))
+        assert all(t.column("parity disjoint"))
+
+    def test_e12_bounds_hold(self):
+        from repro.analysis.experiments import e12_strict_windows
+
+        t = e12_strict_windows(k_values=(1, 2))
+        for L, bound in zip(t.column("layers L"), t.column("bound log_{k+1}(P·λmax)")):
+            assert L <= bound + 1
+        for kept, floor in zip(t.column("kept ratio"), t.column("floor 1/log_{k+1} P")):
+            assert kept >= floor - 1e-9
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENTS) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7a", "e7b",
+            "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+        }
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99")
+
+    def test_run_experiment_dispatch(self):
+        t = run_experiment("e7a")
+        assert t.rows

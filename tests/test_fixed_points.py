@@ -1,0 +1,102 @@
+"""Tests for the fixed-preemption-points scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fixed_points import fixed_point_schedule, fixed_point_simulate
+from repro.instances.periodic import random_task_set, unroll
+from repro.scheduling.edf import edf_feasible
+from repro.scheduling.job import Job, JobSet, make_jobs
+from repro.scheduling.verify import verify_schedule
+
+
+class TestSimulator:
+    def test_single_job_runs_contiguously(self):
+        jobs = make_jobs([(0, 10, 6)])
+        s, missed = fixed_point_simulate(jobs, 2)
+        assert missed == []
+        assert len(s[0]) == 1  # consecutive chunks merge
+
+    def test_chunks_never_preempted(self):
+        # An urgent arrival waits for the running chunk to finish.
+        jobs = make_jobs([(0, 20, 9), (1, 5, 2)])
+        s, missed = fixed_point_simulate(jobs, 2)  # chunks of 3
+        assert missed == []
+        # Job 1 starts only at t=3 (after job 0's first chunk).
+        assert s[1][0].start == 3
+
+    def test_structural_budget(self):
+        jobs = make_jobs([(0, 40, 12), (2, 8, 2), (14, 20, 2), (26, 32, 2)])
+        for k in (1, 2, 3):
+            s, _ = fixed_point_simulate(jobs, k)
+            assert s.max_preemptions <= k
+
+    def test_k0_means_en_bloc(self):
+        jobs = make_jobs([(0, 20, 9), (1, 5, 2)])
+        s, missed = fixed_point_simulate(jobs, 0)
+        # The whole of job 0 is one chunk; job 1 waits past its deadline.
+        assert missed == [1]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_simulate(make_jobs([(0, 4, 2)]), -1)
+
+    def test_fraction_chunks_exact(self):
+        # Length 7 with k=1: chunks of 7/2 — exact Fractions, no drift.
+        jobs = make_jobs([(0, 14, 7)])
+        s, missed = fixed_point_simulate(jobs, 1)
+        assert missed == []
+        total = sum(seg.length for seg in s[0])
+        assert total == 7
+
+
+class TestAdmission:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_output_verifies(self, k):
+        tasks = random_task_set(5, 1.2, seed=7)
+        jobs = unroll(tasks)
+        s = fixed_point_schedule(jobs, k)
+        verify_schedule(s, k=k).assert_ok()
+
+    def test_feasible_periodic_set_fully_kept(self):
+        tasks = random_task_set(5, 0.6, seed=8)
+        jobs = unroll(tasks)
+        if edf_feasible(jobs):
+            s = fixed_point_schedule(jobs, 3)
+            # Chunked EDF is weaker than EDF; it may still drop something,
+            # but on low utilisation it usually keeps everything.
+            assert s.value >= 0.8 * jobs.total_value
+
+    def test_value_order(self):
+        jobs = make_jobs([(0, 8, 4, 1.0), (0, 8, 4, 9.0)])
+        s = fixed_point_schedule(jobs, 1, order="value")
+        assert 1 in s
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            fixed_point_schedule(make_jobs([(0, 4, 2)]), 1, order="x")
+
+
+@st.composite
+def jobsets(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=20))
+        p = draw(st.integers(min_value=1, max_value=8))
+        slack = draw(st.integers(min_value=0, max_value=10))
+        v = draw(st.integers(min_value=1, max_value=20))
+        jobs.append(Job(i, r, r + p + slack, p, v))
+    return JobSet(jobs)
+
+
+@given(jobsets(), st.integers(min_value=0, max_value=3))
+def test_schedule_always_feasible_within_budget(jobs, k):
+    s = fixed_point_schedule(jobs, k)
+    verify_schedule(s, k=k).assert_ok()
+
+
+@given(jobsets(), st.integers(min_value=0, max_value=3))
+def test_never_exceeds_total(jobs, k):
+    assert fixed_point_schedule(jobs, k).value <= jobs.total_value

@@ -1,0 +1,165 @@
+"""Unit tests for the Forest data structure."""
+
+import pytest
+
+from repro.core.bas.forest import Forest
+
+
+@pytest.fixture
+def small_tree():
+    #        0
+    #      / | \
+    #     1  2  3
+    #    / \     \
+    #   4   5     6
+    return Forest([-1, 0, 0, 0, 1, 1, 3], [10, 5, 3, 4, 2, 1, 6])
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_tree):
+        assert small_tree.n == 7
+        assert small_tree.roots == (0,)
+        assert small_tree.children(0) == (1, 2, 3)
+        assert small_tree.parent(4) == 1
+        assert small_tree.degree(0) == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Forest([-1, 0], [1])
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError, match="own parent"):
+            Forest([0], [1])
+
+    def test_invalid_parent_index(self):
+        with pytest.raises(ValueError, match="invalid parent"):
+            Forest([-1, 7], [1, 1])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Forest([1, 0], [1, 1])
+
+    def test_nonpositive_value_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Forest([-1], [0])
+
+    def test_multi_root_forest(self):
+        f = Forest([-1, -1, 0], [1, 2, 3])
+        assert f.roots == (0, 1)
+
+    def test_empty_forest(self):
+        f = Forest([], [])
+        assert f.n == 0 and f.roots == ()
+
+
+class TestQueries:
+    def test_total_value(self, small_tree):
+        assert small_tree.total_value == 31
+
+    def test_is_leaf(self, small_tree):
+        assert small_tree.is_leaf(4)
+        assert not small_tree.is_leaf(1)
+
+    def test_leaves(self, small_tree):
+        assert small_tree.leaves == [2, 4, 5, 6]
+
+    def test_max_degree(self, small_tree):
+        assert small_tree.max_degree == 3
+
+    def test_subtree_nodes(self, small_tree):
+        assert sorted(small_tree.subtree_nodes(1)) == [1, 4, 5]
+
+    def test_subtree_value(self, small_tree):
+        assert small_tree.subtree_value(1) == 8
+        assert small_tree.subtree_value(0) == 31
+
+    def test_is_ancestor(self, small_tree):
+        assert small_tree.is_ancestor(0, 4)
+        assert small_tree.is_ancestor(1, 5)
+        assert not small_tree.is_ancestor(4, 1)
+        assert not small_tree.is_ancestor(2, 6)
+        assert not small_tree.is_ancestor(0, 0)  # strict
+
+    def test_ancestors(self, small_tree):
+        assert small_tree.ancestors(4) == [1, 0]
+        assert small_tree.ancestors(0) == []
+
+
+class TestTraversals:
+    def test_topological_parents_first(self, small_tree):
+        order = small_tree.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(small_tree.n):
+            p = small_tree.parent(v)
+            if p != -1:
+                assert pos[p] < pos[v]
+        assert sorted(order) == list(range(7))
+
+    def test_postorder_children_first(self, small_tree):
+        order = small_tree.postorder()
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(small_tree.n):
+            p = small_tree.parent(v)
+            if p != -1:
+                assert pos[v] < pos[p]
+
+    def test_depths(self, small_tree):
+        assert small_tree.depths() == [0, 1, 1, 1, 2, 2, 2]
+
+    def test_deep_tree_no_recursion_error(self):
+        n = 50_000
+        f = Forest.path(n)
+        assert f.depths()[-1] == n - 1
+        assert len(f.postorder()) == n
+
+
+class TestBuilders:
+    def test_path(self):
+        f = Forest.path(4)
+        assert f.children(0) == (1,)
+        assert f.max_degree == 1
+
+    def test_star(self):
+        f = Forest.star(5)
+        assert f.degree(0) == 4
+        assert f.leaves == [1, 2, 3, 4]
+
+    def test_complete(self):
+        f = Forest.complete(2, 3)
+        assert f.n == 15
+        assert all(f.degree(v) in (0, 2) for v in range(f.n))
+
+    def test_complete_depth_zero(self):
+        assert Forest.complete(3, 0).n == 1
+
+    def test_complete_invalid(self):
+        with pytest.raises(ValueError):
+            Forest.complete(0, 2)
+
+    def test_from_edges(self):
+        f = Forest.from_edges(3, [(0, 1), (1, 2)], [1, 1, 1])
+        assert f.parent(2) == 1
+
+    def test_from_edges_two_parents(self):
+        with pytest.raises(ValueError, match="two parents"):
+            Forest.from_edges(3, [(0, 2), (1, 2)], [1, 1, 1])
+
+
+class TestRelabeled:
+    def test_induced_subforest(self, small_tree):
+        sub, mapping = small_tree.relabeled([1, 4, 5])
+        assert sub.n == 3
+        root = mapping[1]
+        assert sub.parent(root) == -1
+        assert sorted(sub.children(root)) == sorted([mapping[4], mapping[5]])
+
+    def test_disconnected_keep(self, small_tree):
+        sub, mapping = small_tree.relabeled([4, 6])
+        assert sub.roots == (mapping[4], mapping[6]) or set(sub.roots) == {
+            mapping[4],
+            mapping[6],
+        }
+
+    def test_values_carried(self, small_tree):
+        sub, mapping = small_tree.relabeled([0, 3])
+        assert sub.value(mapping[3]) == 4

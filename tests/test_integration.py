@@ -1,0 +1,140 @@
+"""Integration tests: full cross-module pipelines on all instance families.
+
+These exercise the exact composition a user of the library runs: generator
+→ OPT_∞ solver → Algorithm 3 → verifier → price measurement, and sandwich
+the results against the exact tiny-instance oracles.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    edf_feasible,
+    edf_schedule,
+    make_jobs,
+    measured_price,
+    nonpreemptive_combined,
+    opt_infty_exact,
+    opt_k_exact_small,
+    reduce_schedule_to_k_preemptive,
+    schedule_k_bounded,
+    verify_schedule,
+)
+from repro.core.combined import k_preemption_combined
+from repro.instances.lower_bounds import appendix_b_jobs, geometric_chain
+from repro.instances.random_jobs import laminar_job_chain
+from repro.instances.workloads import (
+    batch_analytics_workload,
+    mixed_server_workload,
+    realtime_control_workload,
+)
+
+
+class TestSandwichAgainstExactOracles:
+    """ALG_k <= OPT_k <= OPT_∞ on tiny integral instances."""
+
+    @pytest.mark.parametrize("seed_jobs", [
+        [(0, 8, 4, 3.0), (1, 4, 2, 2.0), (5, 8, 2, 2.0)],
+        [(0, 6, 3, 2.0), (1, 4, 2, 3.0), (3, 8, 3, 1.0), (2, 9, 2, 2.0)],
+        [(0, 10, 5, 1.0), (2, 6, 2, 1.0), (4, 12, 3, 1.0)],
+    ])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_sandwich(self, seed_jobs, k):
+        jobs = make_jobs(seed_jobs)
+        alg = schedule_k_bounded(jobs, k)
+        verify_schedule(alg, k=k).assert_ok()
+        opt_k = opt_k_exact_small(jobs, k)
+        opt_inf = opt_infty_exact(jobs)
+        assert alg.value <= opt_k.value + 1e-9
+        assert opt_k.value <= opt_inf.value + 1e-9
+
+    @pytest.mark.parametrize("seed_jobs", [
+        [(0, 6, 4, 2.0), (2, 5, 3, 3.0)],
+        [(0, 8, 4, 3.0), (1, 4, 2, 2.0), (5, 8, 2, 2.0)],
+    ])
+    def test_k0_sandwich(self, seed_jobs):
+        jobs = make_jobs(seed_jobs)
+        alg = nonpreemptive_combined(jobs)
+        verify_schedule(alg, k=0).assert_ok()
+        opt_0 = opt_k_exact_small(jobs, 0)
+        assert alg.value <= opt_0.value + 1e-9
+
+
+class TestWorkloadPipelines:
+    @pytest.mark.parametrize("generator,kwargs", [
+        (realtime_control_workload, {"n": 25}),
+        (batch_analytics_workload, {"n": 30}),
+        (mixed_server_workload, {"n": 30}),
+    ])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_end_to_end(self, generator, kwargs, k):
+        jobs = generator(seed=17, **kwargs)
+        alg = schedule_k_bounded(jobs, k, exact_opt=False)
+        verify_schedule(alg, k=k).assert_ok()
+        assert alg.value > 0
+        # Price against the greedy OPT estimate stays within the combined
+        # bound (max of the n- and P-arm with the algorithm's constants).
+        from repro.scheduling.edf import edf_accept_max_subset
+
+        opt = edf_accept_max_subset(jobs)
+        m = measured_price(
+            opt.value, alg.value,
+            bound=max(
+                2 * 6 * max(1.0, __import__("math").log(jobs.length_ratio)
+                            / __import__("math").log(k + 1)),
+                max(1.0, __import__("math").log(jobs.n) / __import__("math").log(k + 1)),
+            ),
+        )
+        assert m.within_bound, f"price {m.price} vs bound {m.bound}"
+
+
+class TestLowerBoundFamiliesEndToEnd:
+    def test_appendix_b_full_pipeline(self):
+        inst = appendix_b_jobs(k=2, L=2)
+        jobs = inst.jobs
+        # OPT_inf from first principles (EDF).
+        res = edf_schedule(jobs)
+        assert res.feasible
+        # Algorithm 3 on the EDF schedule.
+        combined = k_preemption_combined(jobs, res.schedule, 2)
+        verify_schedule(combined.schedule, k=2).assert_ok()
+        # Everything here is strict (λ = 1 + 1/(3K-1) < 3): lax branch empty.
+        assert combined.lax_jobs.n == 0
+        # Value within [cap / something, cap]: at least the reduction bound.
+        scale = inst.K ** inst.L
+        assert Fraction(combined.schedule.value, scale) <= inst.opt_k_cap
+
+    def test_chain_accepts_everything_with_one_preemption(self):
+        jobs = geometric_chain(6)
+        sched = edf_schedule(jobs).schedule
+        reduced = reduce_schedule_to_k_preemptive(sched, 1)
+        verify_schedule(reduced, k=1).assert_ok()
+        # The chain's schedule forest is a path: k=1 keeps every job.
+        assert reduced.value == jobs.total_value
+
+    def test_chain_price_collapses_with_k(self):
+        jobs = geometric_chain(6)
+        v0 = nonpreemptive_combined(jobs).value
+        v1 = schedule_k_bounded(jobs, 1).value
+        assert v0 == 1.0
+        assert v1 == 6.0
+
+
+class TestNestedChainAllKs:
+    def test_value_monotone_in_k(self):
+        jobs = laminar_job_chain(3, 3)
+        sched = edf_schedule(jobs).schedule
+        values = [
+            reduce_schedule_to_k_preemptive(sched, k).value for k in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+        # k = branching keeps everything (forest degree 3).
+        assert values[2] == pytest.approx(sched.value)
+
+    def test_segment_budget_tracks_k(self):
+        jobs = laminar_job_chain(2, 4)
+        sched = edf_schedule(jobs).schedule
+        for k in (1, 2, 3):
+            out = reduce_schedule_to_k_preemptive(sched, k)
+            assert out.max_preemptions <= k

@@ -1,0 +1,128 @@
+"""Unit tests for laminarity checking and the Figure 1 rearrangement."""
+
+import pytest
+
+from repro.scheduling.edf import edf_schedule
+from repro.scheduling.job import make_jobs
+from repro.scheduling.laminar import is_laminar, laminarize, laminarize_local
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.segment import Segment
+from repro.scheduling.verify import verify_schedule
+
+
+@pytest.fixture
+def interleaved():
+    """Two jobs interleaved a ≺ b ≺ a' ≺ b' — feasible but not laminar."""
+    jobs = make_jobs([(0, 10, 4, 2.0), (0, 10, 4, 3.0)])
+    sched = Schedule(
+        jobs,
+        {
+            0: [Segment(0, 2), Segment(4, 6)],
+            1: [Segment(2, 4), Segment(6, 8)],
+        },
+    )
+    verify_schedule(sched).assert_ok()
+    return sched
+
+
+@pytest.fixture
+def nested():
+    """B fully inside A's gap — already laminar."""
+    jobs = make_jobs([(0, 10, 4), (2, 6, 2)])
+    return Schedule(
+        jobs,
+        {0: [Segment(0, 2), Segment(4, 6)], 1: [Segment(2, 4)]},
+    )
+
+
+class TestIsLaminar:
+    def test_detects_interleaving(self, interleaved):
+        assert not is_laminar(interleaved)
+
+    def test_accepts_nesting(self, nested):
+        assert is_laminar(nested)
+
+    def test_accepts_disjoint_hulls(self):
+        jobs = make_jobs([(0, 4, 2), (4, 8, 2)])
+        s = Schedule(jobs, {0: [Segment(0, 2)], 1: [Segment(4, 6)]})
+        assert is_laminar(s)
+
+    def test_empty_schedule(self):
+        assert is_laminar(Schedule(make_jobs([(0, 4, 2)]), {}))
+
+    def test_three_level_nesting(self):
+        jobs = make_jobs([(0, 12, 6), (1, 9, 3), (2, 5, 1)])
+        s = Schedule(
+            jobs,
+            {
+                0: [Segment(0, 1), Segment(7, 12)],
+                1: [Segment(1, 2), Segment(5, 7)],
+                2: [Segment(2, 3)],
+            },
+        )
+        # Volumes wrong on purpose? no: 0 -> 6 units, 1 -> 3, 2 -> 1. Check.
+        verify_schedule(s).assert_ok()
+        assert is_laminar(s)
+
+
+class TestLaminarizeEdf:
+    def test_fixes_interleaving(self, interleaved):
+        out = laminarize(interleaved)
+        assert is_laminar(out)
+        verify_schedule(out).assert_ok()
+
+    def test_preserves_value_and_jobs(self, interleaved):
+        out = laminarize(interleaved)
+        assert out.value == pytest.approx(interleaved.value)
+        assert out.scheduled_ids == interleaved.scheduled_ids
+
+    def test_noop_on_laminar(self, nested):
+        out = laminarize(nested)
+        assert is_laminar(out)
+        assert out.value == nested.value
+
+
+class TestLaminarizeLocal:
+    def test_fixes_interleaving(self, interleaved):
+        out = laminarize_local(interleaved)
+        assert is_laminar(out)
+        verify_schedule(out).assert_ok()
+        assert out.value == pytest.approx(interleaved.value)
+
+    def test_work_conserving_exchange(self, interleaved):
+        # The exchange uses exactly the union of the two jobs' slots.
+        before = {seg for seg, _ in interleaved.all_segments()}
+        out = laminarize_local(interleaved)
+        after_total = sum(s.length for segs in (out[i] for i in out.scheduled_ids) for s in segs)
+        assert after_total == pytest.approx(sum(s.length for s in before))
+
+    def test_three_way_interleaving(self):
+        jobs = make_jobs([(0, 20, 6), (0, 20, 4), (0, 20, 4)])
+        s = Schedule(
+            jobs,
+            {
+                0: [Segment(0, 2), Segment(6, 8), Segment(12, 14)],
+                1: [Segment(2, 4), Segment(8, 10)],
+                2: [Segment(4, 6), Segment(10, 12)],
+            },
+        )
+        verify_schedule(s).assert_ok()
+        out = laminarize_local(s)
+        assert is_laminar(out)
+        verify_schedule(out).assert_ok()
+        assert out.value == pytest.approx(s.value)
+
+    def test_noop_on_laminar(self, nested):
+        out = laminarize_local(nested)
+        assert out.value == nested.value
+        assert is_laminar(out)
+
+
+class TestAgreement:
+    def test_both_paths_feasible_and_laminar(self, simple_jobs):
+        base = edf_schedule(simple_jobs).schedule
+        for fn in (laminarize, laminarize_local):
+            out = fn(base)
+            assert is_laminar(out)
+            verify_schedule(out).assert_ok()
+            assert out.value == pytest.approx(base.value)

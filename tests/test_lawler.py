@@ -1,0 +1,140 @@
+"""Unit tests for the classical baselines (Moore–Hodgson, Lawler–Moore,
+density greedy)."""
+
+import pytest
+
+from repro.scheduling.job import make_jobs
+from repro.scheduling.lawler import (
+    greedy_nonpreemptive,
+    lawler_moore_weighted,
+    moore_hodgson,
+)
+from repro.scheduling.verify import verify_schedule
+
+
+class TestMooreHodgson:
+    def test_all_fit(self):
+        jobs = make_jobs([(0, 3, 2), (0, 7, 3), (0, 12, 4)])
+        s = moore_hodgson(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert len(s) == 3
+
+    def test_classic_eviction(self):
+        # Evicting the longest accepted job (job 0, p=4) saves jobs 1 and 2;
+        # no 3-subset meets its deadlines (e.g. {1,2,3} needs 10 > 9).
+        jobs = make_jobs([(0, 6, 4), (0, 7, 3), (0, 8, 2), (0, 9, 5)])
+        s = moore_hodgson(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert s.scheduled_ids == [1, 2]
+
+    def test_cardinality_optimal_vs_bruteforce(self):
+        jobs = make_jobs([(0, 4, 3), (0, 5, 2), (0, 6, 4), (0, 10, 3)])
+        s = moore_hodgson(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        # Brute force: best on-time cardinality for common release = EDD check.
+        best = 0
+        ids = jobs.ids
+        import itertools
+
+        for r in range(len(ids), 0, -1):
+            for combo in itertools.combinations(ids, r):
+                t = 0
+                ok = True
+                for j in sorted(combo, key=lambda i: jobs[i].deadline):
+                    t += jobs[j].length
+                    if t > jobs[j].deadline:
+                        ok = False
+                        break
+                if ok:
+                    best = r
+                    break
+            if best:
+                break
+        assert len(s) == best
+
+    def test_rejects_mixed_releases(self):
+        jobs = make_jobs([(0, 5, 2), (1, 6, 2)])
+        with pytest.raises(ValueError, match="common release"):
+            moore_hodgson(jobs)
+
+    def test_empty(self):
+        assert len(moore_hodgson(make_jobs([]))) == 0
+
+    def test_nonzero_common_release(self):
+        jobs = make_jobs([(5, 10, 2), (5, 12, 3)])
+        s = moore_hodgson(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert len(s) == 2
+
+
+class TestLawlerMoore:
+    def test_prefers_value_over_count(self):
+        # One heavy job vs two light ones that exclude it.
+        jobs = make_jobs([(0, 4, 4, 10.0), (0, 3, 2, 1.0), (0, 5, 2, 1.0)])
+        s = lawler_moore_weighted(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert s.value == pytest.approx(10.0)
+
+    def test_matches_moore_hodgson_on_unit_values(self):
+        jobs = make_jobs([(0, 4, 3), (0, 5, 2), (0, 6, 4), (0, 10, 3)])
+        assert len(lawler_moore_weighted(jobs)) == len(moore_hodgson(jobs))
+
+    def test_exact_against_bruteforce(self):
+        jobs = make_jobs(
+            [(0, 5, 3, 4.0), (0, 6, 2, 3.0), (0, 7, 4, 5.0), (0, 9, 3, 2.0)]
+        )
+        s = lawler_moore_weighted(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        import itertools
+
+        best = 0.0
+        for r in range(1, 5):
+            for combo in itertools.combinations(jobs.ids, r):
+                t, ok, val = 0, True, 0.0
+                for j in sorted(combo, key=lambda i: jobs[i].deadline):
+                    t += jobs[j].length
+                    val += jobs[j].value
+                    if t > jobs[j].deadline:
+                        ok = False
+                        break
+                if ok:
+                    best = max(best, val)
+        assert s.value == pytest.approx(best)
+
+    def test_requires_integer_lengths(self):
+        jobs = make_jobs([(0, 5, 2.5)])
+        with pytest.raises(ValueError, match="integer"):
+            lawler_moore_weighted(jobs)
+
+    def test_empty(self):
+        assert lawler_moore_weighted(make_jobs([])).value == 0
+
+
+class TestGreedyNonpreemptive:
+    def test_feasible_output(self, simple_jobs):
+        s = greedy_nonpreemptive(simple_jobs)
+        verify_schedule(s, k=0).assert_ok()
+
+    def test_density_order_default(self):
+        # Two conflicting jobs: higher density placed first.
+        jobs = make_jobs([(0, 4, 4, 8.0), (0, 5, 4, 4.0)])
+        s = greedy_nonpreemptive(jobs)
+        assert 0 in s
+
+    def test_value_order(self):
+        jobs = make_jobs([(0, 4, 4, 8.0), (0, 5, 4, 4.0)])
+        s = greedy_nonpreemptive(jobs, order="value")
+        assert 0 in s
+
+    def test_deadline_order(self, simple_jobs):
+        s = greedy_nonpreemptive(simple_jobs, order="deadline")
+        verify_schedule(s, k=0).assert_ok()
+
+    def test_unknown_order(self, simple_jobs):
+        with pytest.raises(ValueError):
+            greedy_nonpreemptive(simple_jobs, order="nope")
+
+    def test_skips_unfittable(self):
+        jobs = make_jobs([(0, 4, 4, 10.0), (1, 3, 2, 1.0)])
+        s = greedy_nonpreemptive(jobs)
+        assert s.scheduled_ids == [0]

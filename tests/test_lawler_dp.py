@@ -1,0 +1,112 @@
+"""Tests for the Lawler-style exact preemptive DP.
+
+The headline property: on every instance the DP's value equals the
+branch-and-bound optimum, and the demand-bound criterion agrees with EDF.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scheduling.edf import edf_feasible
+from repro.scheduling.exact import opt_infty_value
+from repro.scheduling.job import Job, JobSet, make_jobs
+from repro.scheduling.lawler_dp import (
+    demand_bound_feasible,
+    lawler_optimal_schedule,
+    lawler_optimal_value,
+)
+from repro.scheduling.verify import verify_schedule
+
+
+class TestDemandBound:
+    def test_feasible_set(self, simple_jobs):
+        assert demand_bound_feasible(simple_jobs)
+
+    def test_overloaded_window(self):
+        jobs = make_jobs([(0, 4, 3), (0, 4, 3)])
+        assert not demand_bound_feasible(jobs)
+
+    def test_nested_tight(self):
+        jobs = make_jobs([(0, 4, 3), (1, 3, 1)])
+        assert demand_bound_feasible(jobs)
+
+    def test_nested_overfull(self):
+        jobs = make_jobs([(0, 4, 3), (1, 3, 2)])
+        assert not demand_bound_feasible(jobs)
+
+
+class TestValueExactness:
+    def test_all_feasible_takes_everything(self, simple_jobs):
+        assert lawler_optimal_value(simple_jobs) == pytest.approx(
+            simple_jobs.total_value
+        )
+
+    def test_matches_bnb_on_overload(self, overloaded_jobs):
+        assert lawler_optimal_value(overloaded_jobs) == pytest.approx(
+            opt_infty_value(overloaded_jobs)
+        )
+
+    @pytest.mark.parametrize("spec", [
+        [(0, 6, 3, 2.0), (1, 4, 2, 3.0), (3, 8, 3, 1.0)],
+        [(0, 4, 2, 1.0), (0, 8, 4, 2.0), (4, 10, 3, 3.0), (1, 5, 2, 2.5)],
+        [(0, 5, 5, 4.0), (1, 3, 2, 3.0), (2, 9, 3, 2.0), (6, 11, 4, 5.0)],
+    ])
+    def test_matches_bnb(self, spec):
+        jobs = make_jobs(spec)
+        assert lawler_optimal_value(jobs) == pytest.approx(opt_infty_value(jobs))
+
+    def test_empty(self):
+        assert lawler_optimal_value(make_jobs([])) == 0
+
+    def test_front_guard(self):
+        jobs = make_jobs([(0, 100 + i, 1, 1.0 + i * 0.01) for i in range(12)])
+        with pytest.raises(RuntimeError, match="front"):
+            lawler_optimal_value(jobs, max_states=2)
+
+
+class TestScheduleMaterialisation:
+    def test_schedule_matches_value(self, overloaded_jobs):
+        s = lawler_optimal_schedule(overloaded_jobs)
+        verify_schedule(s).assert_ok()
+        assert s.value == pytest.approx(lawler_optimal_value(overloaded_jobs))
+
+    def test_preemptive_schedule_produced(self):
+        jobs = make_jobs([(0, 4, 3, 1.0), (1, 3, 1, 1.0)])
+        s = lawler_optimal_schedule(jobs)
+        verify_schedule(s).assert_ok()
+        assert s.value == pytest.approx(2.0)
+        assert s.max_preemptions >= 1
+
+    def test_empty(self):
+        assert len(lawler_optimal_schedule(make_jobs([]))) == 0
+
+
+@st.composite
+def integral_jobsets(draw, max_jobs: int = 7):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=16))
+        p = draw(st.integers(min_value=1, max_value=6))
+        slack = draw(st.integers(min_value=0, max_value=10))
+        w = draw(st.integers(min_value=1, max_value=9))
+        jobs.append(Job(i, r, r + p + slack, p, w))
+    return JobSet(jobs)
+
+
+@given(integral_jobsets())
+def test_demand_bound_agrees_with_edf(jobs):
+    assert demand_bound_feasible(jobs) == edf_feasible(jobs)
+
+
+@given(integral_jobsets())
+def test_dp_matches_branch_and_bound(jobs):
+    assert lawler_optimal_value(jobs) == pytest.approx(opt_infty_value(jobs))
+
+
+@given(integral_jobsets())
+def test_dp_schedule_feasible_and_optimal(jobs):
+    s = lawler_optimal_schedule(jobs)
+    verify_schedule(s).assert_ok()
+    assert s.value == pytest.approx(opt_infty_value(jobs))

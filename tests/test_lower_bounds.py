@@ -1,0 +1,179 @@
+"""Unit tests for the three lower-bound constructions and their analytics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.reduction import reduce_schedule_to_k_preemptive, schedule_to_forest
+from repro.instances.lower_bounds import (
+    appendix_a_forest,
+    appendix_b_jobs,
+    geometric_chain,
+    geometric_chain_one_preemption_schedule,
+    replicate_for_machines,
+)
+from repro.scheduling.edf import edf_feasible, edf_schedule
+from repro.scheduling.exact import opt_k_exact_small
+from repro.scheduling.laminar import is_laminar
+from repro.scheduling.verify import verify_schedule
+
+
+class TestGeometricChain:
+    def test_structure(self):
+        jobs = geometric_chain(5)
+        assert jobs.n == 5
+        assert jobs.length_ratio == 2**4
+        assert jobs.lambda_max < 2
+
+    def test_windows_nested(self):
+        jobs = geometric_chain(5)
+        ordered = sorted(jobs, key=lambda j: j.length)
+        for small, big in zip(ordered, ordered[1:]):
+            assert big.release <= small.release
+            assert big.deadline >= small.deadline
+
+    def test_edf_feasible_all(self):
+        assert edf_feasible(geometric_chain(8))
+
+    def test_witness_schedule(self):
+        for n in (1, 3, 6):
+            w = geometric_chain_one_preemption_schedule(n)
+            verify_schedule(w, k=1).assert_ok()
+            assert w.value == n
+
+    def test_innermost_job_unpreempted(self):
+        w = geometric_chain_one_preemption_schedule(4)
+        assert len(w[0]) == 1  # the two pieces touch at the centre
+
+    def test_every_placement_covers_centre(self):
+        jobs = geometric_chain(6)
+        centre = 2**6
+        for j in jobs:
+            # leftmost placement covers centre
+            assert j.release + j.length >= centre
+            # rightmost placement covers centre
+            assert j.deadline - j.length <= centre
+
+    def test_exact_opt0_is_one(self):
+        # Small enough for the slot oracle: no two jobs coexist at k = 0.
+        jobs = geometric_chain(3)
+        best = opt_k_exact_small(jobs, 0, max_slots=40, max_jobs=5)
+        assert best.value == 1.0
+
+    def test_exact_opt1_is_n(self):
+        jobs = geometric_chain(3)
+        best = opt_k_exact_small(jobs, 1, max_slots=40, max_jobs=5)
+        assert best.value == 3.0
+
+    def test_rejects_n_zero(self):
+        with pytest.raises(ValueError):
+            geometric_chain(0)
+
+
+class TestAppendixB:
+    def test_size_and_levels(self):
+        inst = appendix_b_jobs(k=2, L=2)
+        assert inst.K == 4
+        assert inst.jobs.n == 1 + 4 + 16
+        assert max(inst.level_of.values()) == 2
+
+    def test_length_ratio(self):
+        inst = appendix_b_jobs(k=1, L=3)
+        assert inst.jobs.length_ratio == (3 * 4) ** 3
+        assert inst.P == inst.jobs.length_ratio
+
+    def test_laxity_uniform(self):
+        inst = appendix_b_jobs(k=2, L=2)
+        lam = 1 + Fraction(1, 3 * inst.K - 1)
+        for j in inst.jobs:
+            assert j.laxity == lam
+
+    def test_children_inside_parent_window(self):
+        inst = appendix_b_jobs(k=1, L=3)
+        for jid, kids in inst.children_of.items():
+            parent = inst.jobs[jid]
+            for c in kids:
+                child = inst.jobs[c]
+                assert child.release > parent.release
+                assert child.deadline < parent.deadline
+
+    def test_sibling_windows_disjoint(self):
+        inst = appendix_b_jobs(k=2, L=2)
+        for kids in inst.children_of.values():
+            ordered = sorted(kids, key=lambda c: inst.jobs[c].release)
+            for a, b in zip(ordered, ordered[1:]):
+                assert inst.jobs[a].deadline <= inst.jobs[b].release
+
+    def test_opt_infty_via_edf(self):
+        for k, L in [(1, 2), (2, 2), (1, 3)]:
+            inst = appendix_b_jobs(k, L)
+            assert edf_feasible(inst.jobs)
+
+    def test_nested_witness_schedule(self):
+        inst = appendix_b_jobs(k=2, L=2)
+        sched = inst.nested_optimal_schedule()
+        verify_schedule(sched).assert_ok()
+        assert is_laminar(sched)
+        assert sched.value == inst.jobs.total_value
+
+    def test_schedule_forest_matches_construction(self):
+        inst = appendix_b_jobs(k=1, L=2)
+        sched = inst.nested_optimal_schedule()
+        forest, node_to_job = schedule_to_forest(sched)
+        assert forest.n == inst.jobs.n
+        assert forest.max_degree == inst.K
+
+    def test_lemma_b2_cap_reached_by_reduction(self):
+        # Our pipeline achieves exactly the Lemma B.2 optimum on the family.
+        for k, L in [(1, 2), (2, 2)]:
+            inst = appendix_b_jobs(k, L)
+            reduced = reduce_schedule_to_k_preemptive(
+                inst.nested_optimal_schedule(), k
+            )
+            verify_schedule(reduced, k=k).assert_ok()
+            scale = inst.K ** inst.L
+            assert Fraction(reduced.value, scale) == inst.opt_k_cap
+
+    def test_opt_k_cap_below_two_for_tight_K(self):
+        for k in (1, 2, 3):
+            for L in (1, 2, 3):
+                inst = appendix_b_jobs(k, L)
+                assert inst.opt_k_cap < 2
+
+    def test_price_grows_with_L(self):
+        prices = []
+        for L in (1, 2, 3):
+            inst = appendix_b_jobs(1, L)
+            prices.append(float(inst.opt_infty / inst.opt_k_cap))
+        assert prices == sorted(prices)
+        assert prices[-1] > 2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            appendix_b_jobs(0, 2)
+        with pytest.raises(ValueError):
+            appendix_b_jobs(2, 2, K=2)
+        with pytest.raises(ValueError):
+            appendix_b_jobs(1, -1)
+
+
+class TestReplication:
+    def test_ids_unique(self):
+        jobs = replicate_for_machines(geometric_chain(3), 4)
+        assert jobs.n == 12
+        assert len(set(jobs.ids)) == 12
+
+    def test_copies_identical_in_time(self):
+        base = geometric_chain(3)
+        jobs = replicate_for_machines(base, 2)
+        for j in base:
+            twin = jobs[base.n + j.id]
+            assert (twin.release, twin.deadline, twin.length) == (
+                j.release,
+                j.deadline,
+                j.length,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate_for_machines(geometric_chain(2), 0)

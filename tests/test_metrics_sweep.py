@@ -1,0 +1,82 @@
+"""Unit tests for analysis metrics and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_decay_rate,
+    loss_factor,
+    realized_price,
+    series_slope_vs_log,
+)
+from repro.analysis.sweep import Sweep, run_sweep
+
+
+class TestMetrics:
+    def test_loss_factor(self):
+        assert loss_factor(10, 4) == pytest.approx(2.5)
+
+    def test_loss_factor_zero_denominator(self):
+        assert loss_factor(10, 0) == float("inf")
+
+    def test_realized_price(self):
+        assert realized_price(12, 3) == pytest.approx(4.0)
+
+    def test_slope_fit_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.5 * x + 1.0 for x in xs]
+        slope, intercept = series_slope_vs_log(xs, ys)
+        assert slope == pytest.approx(2.5)
+        assert intercept == pytest.approx(1.0)
+
+    def test_slope_fit_validation(self):
+        with pytest.raises(ValueError):
+            series_slope_vs_log([1.0], [2.0])
+        with pytest.raises(ValueError):
+            series_slope_vs_log([1.0, 2.0], [1.0])
+
+    def test_geometric_decay(self):
+        assert geometric_decay_rate([27, 9, 3, 1]) == pytest.approx(3.0)
+
+    def test_geometric_decay_short_series(self):
+        assert np.isnan(geometric_decay_rate([5]))
+
+
+class TestSweep:
+    def test_cells_cartesian_product(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": ["x", "y", "z"]})
+        cells = sweep.cells()
+        assert len(cells) == 6
+        assert {"a": 2, "b": "y"} in cells
+
+    def test_run_sweep_aggregates(self):
+        sweep = Sweep(axes={"n": [2, 4]}, repeats=3)
+
+        def cell(rng, n):
+            return {"metric": n * 10 + rng.random()}
+
+        results = run_sweep(sweep, cell, seed=0)
+        assert len(results) == 2
+        for res in results:
+            n = res.params["n"]
+            assert n * 10 <= res.metrics["metric"] <= n * 10 + 1
+            assert res.metrics["metric_max"] >= res.metrics["metric"]
+
+    def test_run_sweep_deterministic(self):
+        sweep = Sweep(axes={"n": [3]}, repeats=2)
+
+        def cell(rng, n):
+            return {"m": rng.random()}
+
+        a = run_sweep(sweep, cell, seed=123)
+        b = run_sweep(sweep, cell, seed=123)
+        assert a[0].metrics == b[0].metrics
+
+    def test_independent_streams_per_cell(self):
+        sweep = Sweep(axes={"n": [1, 2]})
+
+        def cell(rng, n):
+            return {"m": rng.random()}
+
+        results = run_sweep(sweep, cell, seed=9)
+        assert results[0].metrics["m"] != results[1].metrics["m"]

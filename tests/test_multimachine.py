@@ -1,0 +1,170 @@
+"""Unit tests for the multi-machine extensions (Section 4.3.4)."""
+
+import pytest
+
+from repro.core.multimachine import (
+    iterated_assignment,
+    multimachine_k_bounded,
+    multimachine_nonpreemptive,
+    multimachine_opt_infty,
+)
+from repro.instances.lower_bounds import geometric_chain, replicate_for_machines
+from repro.instances.workloads import mixed_server_workload
+from repro.scheduling.edf import edf_schedule
+from repro.scheduling.job import make_jobs
+from repro.scheduling.verify import verify_multimachine
+
+
+class TestIteratedAssignment:
+    def test_residual_jobs_flow_to_next_machine(self):
+        # Two identical conflicting jobs: one per machine.
+        jobs = make_jobs([(0, 4, 4, 2.0), (0, 4, 4, 1.0)])
+        mm = iterated_assignment(
+            jobs, 2, lambda js: edf_schedule(js, stop_on_miss=False).schedule
+            if js.n == 0 or True else None
+        )
+        # Use a cleaner algorithm below; here just check structure.
+        assert mm.num_machines <= 2
+
+    def test_no_job_on_two_machines(self):
+        jobs = mixed_server_workload(20, seed=0)
+        mm = multimachine_k_bounded(jobs, 1, 3)
+        ids = []
+        for m in mm.machines:
+            ids.extend(m.scheduled_ids)
+        assert len(ids) == len(set(ids))
+
+    def test_stops_early_when_jobs_exhausted(self):
+        jobs = make_jobs([(0, 8, 4, 1.0)])
+        mm = multimachine_k_bounded(jobs, 1, 5)
+        assert mm.num_machines <= 5
+        assert mm.value == 1.0
+
+    def test_machines_must_be_positive(self):
+        jobs = make_jobs([(0, 8, 4)])
+        with pytest.raises(ValueError):
+            iterated_assignment(jobs, 0, lambda js: edf_schedule(js).schedule)
+
+
+class TestMultimachineValue:
+    def test_more_machines_never_lose_value(self):
+        jobs = mixed_server_workload(30, seed=1)
+        vals = [multimachine_k_bounded(jobs, 2, m).value for m in (1, 2, 4)]
+        assert vals == sorted(vals)
+
+    def test_replicated_chain_one_job_per_machine(self):
+        base = geometric_chain(5)
+        jobs = replicate_for_machines(base, 3)
+        mm = multimachine_nonpreemptive(jobs, 3)
+        verify_multimachine(mm, k=0).assert_ok()
+        # Each machine can fit at least one chain job; no machine fits two
+        # of the same copy... value should be >= 3 (one per machine).
+        assert mm.value >= 3.0
+
+    def test_budget_respected_per_machine(self):
+        jobs = mixed_server_workload(25, seed=2)
+        for k in (1, 2):
+            mm = multimachine_k_bounded(jobs, k, 2)
+            verify_multimachine(mm, k=k).assert_ok()
+            assert mm.max_preemptions <= k
+
+    def test_k0_multimachine(self):
+        jobs = mixed_server_workload(20, seed=3)
+        mm = multimachine_nonpreemptive(jobs, 2)
+        verify_multimachine(mm, k=0).assert_ok()
+
+    def test_k_validation(self):
+        jobs = make_jobs([(0, 8, 4)])
+        with pytest.raises(ValueError):
+            multimachine_k_bounded(jobs, 0, 2)
+
+
+class TestMergedForestReduction:
+    """The §4.1 remark: per-machine forests merged, one global k-BAS."""
+
+    def _two_machine_schedule(self):
+        from repro.instances.random_jobs import laminar_job_chain
+        from repro.scheduling.job import Job, JobSet
+        from repro.scheduling.schedule import Schedule as S
+
+        base = laminar_job_chain(2, 3)  # 13 jobs, ids 0..12
+        shifted = JobSet(
+            [Job(100 + j.id, j.release, j.deadline, j.length, j.value) for j in base]
+        )
+        all_jobs = JobSet(list(base) + list(shifted))
+        m0 = edf_schedule(base).schedule
+        m1 = edf_schedule(shifted).schedule
+        from repro.scheduling.schedule import MultiMachineSchedule as MM
+
+        m0 = S(all_jobs, {i: list(m0[i]) for i in m0.scheduled_ids})
+        m1 = S(all_jobs, {i: list(m1[i]) for i in m1.scheduled_ids})
+        return MM(all_jobs, [m0, m1])
+
+    def test_result_feasible_within_budget(self):
+        from repro.core.multimachine import reduce_multimachine_schedule
+
+        mm = self._two_machine_schedule()
+        for k in (1, 2):
+            out = reduce_multimachine_schedule(mm, k)
+            verify_multimachine(out, k=k).assert_ok()
+
+    def test_theorem_4_2_on_merged_n(self):
+        import math
+
+        from repro.core.multimachine import reduce_multimachine_schedule
+
+        mm = self._two_machine_schedule()
+        n = len(mm.scheduled_ids)
+        for k in (1, 2):
+            out = reduce_multimachine_schedule(mm, k)
+            bound = math.log(n) / math.log(k + 1)
+            assert out.value * bound >= mm.value * (1 - 1e-9)
+
+    def test_global_tradeoff_at_least_per_machine(self):
+        """One global k-BAS can only beat or match reducing each machine
+        separately (it optimises over a superset of choices)."""
+        from repro.core.multimachine import reduce_multimachine_schedule
+        from repro.core.reduction import reduce_schedule_to_k_preemptive
+
+        mm = self._two_machine_schedule()
+        k = 1
+        merged = reduce_multimachine_schedule(mm, k)
+        separate = sum(
+            reduce_schedule_to_k_preemptive(m, k).value for m in mm.machines if len(m)
+        )
+        assert merged.value >= separate - 1e-9
+
+    def test_k_validation(self):
+        from repro.core.multimachine import reduce_multimachine_schedule
+
+        mm = self._two_machine_schedule()
+        with pytest.raises(ValueError):
+            reduce_multimachine_schedule(mm, 0)
+
+    def test_empty_machines(self):
+        from repro.core.multimachine import reduce_multimachine_schedule
+        from repro.scheduling.schedule import MultiMachineSchedule as MM
+        from repro.scheduling.schedule import Schedule as S
+
+        jobs = make_jobs([(0, 8, 4)])
+        mm = MM(jobs, [S(jobs, {}), S(jobs, {})])
+        out = reduce_multimachine_schedule(mm, 1)
+        assert out.value == 0
+
+
+class TestMultimachineOpt:
+    def test_feasible_single_machine_takes_all(self, simple_jobs):
+        mm = multimachine_opt_infty(simple_jobs, 1)
+        assert mm.value == pytest.approx(simple_jobs.total_value)
+
+    def test_two_machines_beat_one_on_overload(self):
+        jobs = make_jobs([(0, 4, 4, 2.0), (0, 4, 4, 2.0)])
+        v1 = multimachine_opt_infty(jobs, 1).value
+        v2 = multimachine_opt_infty(jobs, 2).value
+        assert v1 == pytest.approx(2.0)
+        assert v2 == pytest.approx(4.0)
+
+    def test_verifies(self):
+        jobs = mixed_server_workload(20, seed=4)
+        mm = multimachine_opt_infty(jobs, 2)
+        verify_multimachine(mm).assert_ok()

@@ -1,0 +1,106 @@
+"""Unit tests for the k = 0 algorithms (Section 5)."""
+
+import pytest
+
+from repro.core.nonpreemptive import (
+    nonpreemptive_combined,
+    nonpreemptive_lsa,
+    nonpreemptive_lsa_cs,
+)
+from repro.instances.lower_bounds import geometric_chain
+from repro.instances.random_jobs import random_jobs
+from repro.scheduling.edf import edf_feasible
+from repro.scheduling.job import make_jobs
+from repro.scheduling.segment import Segment
+from repro.scheduling.verify import verify_schedule
+from repro.utils.numeric import log_base
+
+
+class TestEnBlocLsa:
+    def test_single_piece_placement(self):
+        jobs = make_jobs([(0, 10, 4)])
+        s = nonpreemptive_lsa(jobs)
+        assert s[0] == (Segment(0, 4),)
+        assert s.max_preemptions == 0
+
+    def test_never_preempts(self):
+        jobs = random_jobs(40, laxity_range=(2.0, 5.0), seed=0)
+        s = nonpreemptive_lsa(jobs)
+        assert s.max_preemptions == 0
+        verify_schedule(s, k=0).assert_ok()
+
+    def test_density_priority(self):
+        jobs = make_jobs([(0, 6, 4, 1.0), (0, 6, 4, 9.0)])
+        s = nonpreemptive_lsa(jobs)
+        assert s.scheduled_ids == [1]
+
+    def test_skips_to_later_gap(self):
+        # First job blocks [0,4]; second fits after it en bloc.
+        jobs = make_jobs([(0, 6, 4, 9.0), (0, 12, 4, 1.0)])
+        s = nonpreemptive_lsa(jobs)
+        assert s[1] == (Segment(4, 8),)
+
+    def test_value_order_variant(self):
+        jobs = random_jobs(20, seed=1)
+        s = nonpreemptive_lsa(jobs, order="value")
+        verify_schedule(s, k=0).assert_ok()
+
+
+class TestClassifiedEnBloc:
+    def test_feasible(self):
+        jobs = random_jobs(40, length_range=(1.0, 64.0), seed=2)
+        s = nonpreemptive_lsa_cs(jobs)
+        verify_schedule(s, k=0).assert_ok()
+
+    def test_class_ratio_at_most_two(self):
+        jobs = random_jobs(30, length_range=(1.0, 100.0), seed=3)
+        _, per_class = nonpreemptive_lsa_cs(jobs, return_all_classes=True)
+        for c, sched in per_class.items():
+            lengths = [jobs[i].length for i in sched.scheduled_ids]
+            if len(lengths) >= 2:
+                assert max(lengths) / min(lengths) <= 2 + 1e-9
+
+    def test_section5_bound_on_feasible_sets(self):
+        for seed in range(4):
+            jobs = random_jobs(
+                20, horizon=400.0, length_range=(1.0, 32.0),
+                laxity_range=(2.0, 5.0), seed=seed,
+            )
+            s = nonpreemptive_lsa_cs(jobs)
+            if edf_feasible(jobs):
+                opt = jobs.total_value
+                bound = 3 * max(1.0, log_base(jobs.length_ratio, 2))
+                assert s.value >= opt / bound - 1e-9
+
+    def test_empty(self):
+        assert len(nonpreemptive_lsa_cs(make_jobs([]))) == 0
+
+
+class TestCombinedK0:
+    def test_chain_accepts_exactly_one(self):
+        jobs = geometric_chain(7)
+        s = nonpreemptive_combined(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert s.value == 1.0
+
+    def test_single_job_fallback_certifies_n_bound(self):
+        # One huge-value job that the classified LSA may route around.
+        jobs = make_jobs(
+            [(0, 4, 4, 100.0), (0, 4, 2, 1.0), (0, 4, 2, 1.0)]
+        )
+        s = nonpreemptive_combined(jobs)
+        assert s.value >= 100.0
+
+    def test_value_at_least_best_single(self):
+        for seed in range(3):
+            jobs = random_jobs(25, seed=seed)
+            s = nonpreemptive_combined(jobs)
+            assert s.value >= max(j.value for j in jobs) - 1e-9
+
+    def test_feasible_and_nonpreemptive(self):
+        jobs = random_jobs(30, length_range=(1.0, 50.0), seed=9)
+        s = nonpreemptive_combined(jobs)
+        verify_schedule(s, k=0).assert_ok()
+
+    def test_empty(self):
+        assert nonpreemptive_combined(make_jobs([])).value == 0

@@ -1,0 +1,123 @@
+"""Tests for the periodic task model, UUniFast, and hyperperiod unrolling."""
+
+import math
+
+import pytest
+
+from repro.instances.periodic import (
+    PeriodicTask,
+    hyperperiod,
+    random_task_set,
+    total_utilization,
+    unroll,
+    uunifast,
+)
+from repro.scheduling.edf import edf_feasible
+
+
+class TestPeriodicTask:
+    def test_valid(self):
+        t = PeriodicTask(0, 20, 5, 15, 2.0)
+        assert t.utilization == pytest.approx(0.25)
+        assert t.laxity == pytest.approx(3.0)
+
+    def test_rejects_wcet_over_deadline(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(0, 20, 16, 15)
+
+    def test_rejects_deadline_over_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(0, 20, 5, 25)
+
+    def test_rejects_zero_wcet(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(0, 20, 0, 15)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        for n, U in [(1, 0.5), (4, 0.9), (10, 2.5)]:
+            utils = uunifast(n, U, seed=0)
+            assert len(utils) == n
+            assert sum(utils) == pytest.approx(U)
+
+    def test_all_positive(self):
+        utils = uunifast(8, 0.95, seed=1)
+        assert all(u > 0 for u in utils)
+
+    def test_deterministic(self):
+        assert uunifast(5, 0.7, seed=2) == uunifast(5, 0.7, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(3, 0)
+
+
+class TestRandomTaskSet:
+    def test_utilization_near_target(self):
+        tasks = random_task_set(8, 0.8, seed=3)
+        # rounding WCETs distorts the target slightly
+        assert total_utilization(tasks) == pytest.approx(0.8, abs=0.2)
+
+    def test_constrained_deadlines(self):
+        tasks = random_task_set(6, 0.9, deadline_fraction=0.7, seed=4)
+        for t in tasks:
+            assert t.wcet <= t.relative_deadline <= t.period
+
+    def test_deadline_fraction_validation(self):
+        with pytest.raises(ValueError):
+            random_task_set(3, 0.5, deadline_fraction=0.0)
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        tasks = [
+            PeriodicTask(0, 4, 1, 4),
+            PeriodicTask(1, 6, 1, 6),
+        ]
+        assert hyperperiod(tasks) == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+
+class TestUnroll:
+    def test_job_count(self):
+        tasks = [PeriodicTask(0, 10, 2, 10), PeriodicTask(1, 20, 3, 20)]
+        jobs = unroll(tasks)  # hyperperiod 20
+        assert jobs.n == 2 + 1
+
+    def test_windows_follow_task_parameters(self):
+        tasks = [PeriodicTask(0, 10, 2, 7)]
+        jobs = unroll(tasks, horizon=30)
+        releases = sorted(j.release for j in jobs)
+        assert releases == [0, 10, 20]
+        for j in jobs:
+            assert j.deadline - j.release == 7
+            assert j.length == 2
+
+    def test_no_truncated_windows(self):
+        tasks = [PeriodicTask(0, 10, 2, 8)]
+        jobs = unroll(tasks, horizon=25)
+        # Third release at 20 has deadline 28 > 25: excluded.
+        assert jobs.n == 2
+
+    def test_low_utilization_feasible(self):
+        tasks = random_task_set(5, 0.6, seed=5)
+        assert edf_feasible(unroll(tasks))
+
+    def test_overload_infeasible(self):
+        tasks = random_task_set(6, 1.8, seed=6)
+        assert not edf_feasible(unroll(tasks))
+
+    def test_values_carried(self):
+        tasks = [PeriodicTask(0, 10, 2, 10, value=7.5)]
+        jobs = unroll(tasks)
+        assert all(j.value == 7.5 for j in jobs)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            unroll([PeriodicTask(0, 10, 2, 10)], horizon=0)

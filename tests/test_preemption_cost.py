@@ -1,0 +1,104 @@
+"""Tests for the context-switch cost model and budget chooser."""
+
+import pytest
+
+from repro.core.preemption_cost import (
+    BudgetChoice,
+    net_value,
+    optimal_budget,
+    total_preemptions,
+)
+from repro.instances.lower_bounds import geometric_chain
+from repro.instances.workloads import mixed_server_workload
+from repro.scheduling.job import make_jobs
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.segment import Segment
+
+
+@pytest.fixture
+def preempted_schedule():
+    jobs = make_jobs([(0, 12, 6, 10.0), (2, 6, 2, 3.0)])
+    return Schedule(
+        jobs,
+        {0: [Segment(0, 2), Segment(4, 8)], 1: [Segment(2, 4)]},
+    )
+
+
+class TestNetValue:
+    def test_counts_switches(self, preempted_schedule):
+        assert total_preemptions(preempted_schedule) == 1
+
+    def test_net_value_formula(self, preempted_schedule):
+        assert net_value(preempted_schedule, 0.0) == pytest.approx(13.0)
+        assert net_value(preempted_schedule, 2.5) == pytest.approx(10.5)
+
+    def test_rejects_negative_cost(self, preempted_schedule):
+        with pytest.raises(ValueError):
+            net_value(preempted_schedule, -1.0)
+
+    def test_empty_schedule(self):
+        jobs = make_jobs([(0, 4, 2)])
+        s = Schedule(jobs, {})
+        assert total_preemptions(s) == 0
+        assert net_value(s, 5.0) == 0.0
+
+
+class TestOptimalBudget:
+    def test_zero_cost_prefers_value(self):
+        jobs = geometric_chain(6)
+        choice = optimal_budget(jobs, 0.0, k_values=(0, 1))
+        assert choice.best_k == 1
+        assert choice.best_net == pytest.approx(6.0 - 0.0)
+
+    def test_high_cost_prefers_k0(self):
+        jobs = geometric_chain(6)
+        choice = optimal_budget(jobs, 10.0, k_values=(0, 1))
+        assert choice.best_k == 0
+        assert choice.best_net == pytest.approx(1.0)
+
+    def test_chain_flip_point(self):
+        # Each chain preemption buys one unit job: flip at c = 1.
+        jobs = geometric_chain(5)
+        below = optimal_budget(jobs, 0.9, k_values=(0, 1))
+        above = optimal_budget(jobs, 1.1, k_values=(0, 1))
+        assert below.best_k == 1
+        assert above.best_k == 0
+
+    def test_monotone_in_cost(self):
+        jobs = mixed_server_workload(25, seed=0)
+        ks = [
+            optimal_budget(jobs, c, k_values=(0, 1, 2, 4)).best_k
+            for c in (0.0, 1.0, 4.0, 16.0, 64.0)
+        ]
+        assert ks == sorted(ks, reverse=True)
+
+    def test_trace_contains_all_budgets(self):
+        jobs = mixed_server_workload(15, seed=1)
+        choice = optimal_budget(jobs, 1.0, k_values=(0, 2))
+        assert set(choice.trace) == {0, 2}
+
+    def test_tie_prefers_smaller_k(self):
+        # A single job: every budget nets the same; k = 0 must win.
+        jobs = make_jobs([(0, 10, 4, 5.0)])
+        choice = optimal_budget(jobs, 0.0, k_values=(0, 1, 2))
+        assert choice.best_k == 0
+
+    def test_custom_scheduler(self):
+        jobs = make_jobs([(0, 10, 4, 5.0)])
+
+        def sched(js, k):
+            from repro.scheduling.schedule import best_single_job
+
+            return best_single_job(js)
+
+        choice = optimal_budget(jobs, 1.0, k_values=(0, 1), scheduler=sched)
+        assert choice.best_net == pytest.approx(5.0)
+
+    def test_scheduler_budget_violation_caught(self):
+        jobs = make_jobs([(0, 12, 6)])
+
+        def cheating(js, k):
+            return Schedule(js, {0: [Segment(0, 2), Segment(4, 8)]})
+
+        with pytest.raises(ValueError, match="preemptions at budget"):
+            optimal_budget(jobs, 1.0, k_values=(0,), scheduler=cheating)

@@ -1,0 +1,79 @@
+"""Unit tests for the price formulas and measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.core.pricing import (
+    PriceMeasurement,
+    measured_price,
+    price_bound_P,
+    price_bound_k0,
+    price_bound_n,
+)
+
+
+class TestBoundFormulas:
+    def test_bound_n(self):
+        assert price_bound_n(8, 1) == pytest.approx(3.0)
+        assert price_bound_n(27, 2) == pytest.approx(3.0)
+
+    def test_bound_n_clamped(self):
+        assert price_bound_n(1, 1) == 1.0
+
+    def test_bound_n_rejects_k0(self):
+        with pytest.raises(ValueError):
+            price_bound_n(10, 0)
+
+    def test_bound_P_constant(self):
+        assert price_bound_P(16, 1) == pytest.approx(24.0)  # 6 * log2(16)
+        assert price_bound_P(16, 1, constant=1.0) == pytest.approx(4.0)
+
+    def test_bound_P_rejects_k0(self):
+        with pytest.raises(ValueError):
+            price_bound_P(10, 0)
+
+    def test_bound_k0_min_of_arms(self):
+        assert price_bound_k0(5, 2**10) == 5.0  # n arm smaller
+        assert price_bound_k0(100, 4) == pytest.approx(6.0)  # 3*log2(4)
+
+
+class TestMeasuredPrice:
+    def test_explicit_bound(self):
+        m = measured_price(10.0, 4.0, bound=3.0)
+        assert m.price == pytest.approx(2.5)
+        assert m.within_bound
+        assert m.tightness == pytest.approx(2.5 / 3.0)
+
+    def test_derived_bound_n_only(self):
+        m = measured_price(10.0, 5.0, n=8, k=1)
+        assert m.bound == pytest.approx(3.0)
+
+    def test_derived_bound_takes_min(self):
+        # P bound (with its 2*6 constant) vs n bound: min wins.
+        m = measured_price(10.0, 5.0, n=8, P=2.0, k=1)
+        assert m.bound == pytest.approx(min(3.0, 12.0))
+
+    def test_k0_bound(self):
+        m = measured_price(10.0, 5.0, n=4, P=16.0, k=0)
+        assert m.bound == pytest.approx(4.0)
+
+    def test_k0_requires_n_and_P(self):
+        with pytest.raises(ValueError):
+            measured_price(10.0, 5.0, n=4, k=0)
+
+    def test_requires_bound_or_k(self):
+        with pytest.raises(ValueError):
+            measured_price(10.0, 5.0)
+
+    def test_requires_some_axis(self):
+        with pytest.raises(ValueError):
+            measured_price(10.0, 5.0, k=1)
+
+    def test_zero_alg_value_rejected(self):
+        with pytest.raises(ValueError):
+            measured_price(10.0, 0.0, bound=3.0)
+
+    def test_violation_detected(self):
+        m = measured_price(10.0, 1.0, bound=3.0)
+        assert not m.within_bound

@@ -1,0 +1,113 @@
+"""Property-based tests for the k-BAS algorithms (TM, LevelledContraction).
+
+These are the Section 3 invariants run over arbitrary random forests:
+validity of the output, TM's dominance over LevelledContraction, the
+Theorem 3.9 loss bound, and the Lemma 3.17/3.18 layer accounting.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bas.contraction import levelled_contraction
+from repro.core.bas.tm import tm_optimal_bas, tm_optimal_value
+from repro.core.bas.verify import verify_bas
+from repro.core.bas.forest import Forest
+
+
+@st.composite
+def forests_with_k(draw, max_nodes: int = 35):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
+    values = [
+        draw(st.floats(min_value=0.01, max_value=50, allow_nan=False)) for _ in range(n)
+    ]
+    k = draw(st.integers(min_value=1, max_value=4))
+    return Forest(parents, values), k
+
+
+@given(forests_with_k())
+def test_tm_output_is_valid_bas(fk):
+    forest, k = fk
+    bas = tm_optimal_bas(forest, k)
+    verify_bas(bas, k).assert_ok()
+
+
+@given(forests_with_k())
+def test_tm_value_matches_replayed_set(fk):
+    forest, k = fk
+    bas = tm_optimal_bas(forest, k)
+    assert bas.value == pytest.approx(tm_optimal_value(forest, k))
+
+
+@given(forests_with_k())
+def test_contraction_output_is_valid_bas(fk):
+    forest, k = fk
+    bas = levelled_contraction(forest, k).best_subforest()
+    verify_bas(bas, k).assert_ok()
+
+
+@given(forests_with_k())
+def test_tm_dominates_contraction(fk):
+    forest, k = fk
+    tm_val = tm_optimal_value(forest, k)
+    lc_val = levelled_contraction(forest, k).best_subforest().value
+    assert tm_val >= lc_val - 1e-9 * max(1.0, abs(lc_val))
+
+
+@given(forests_with_k())
+def test_theorem_3_9_loss_bound(fk):
+    forest, k = fk
+    bound = max(1.0, math.log(forest.n) / math.log(k + 1))
+    tm_val = tm_optimal_value(forest, k)
+    assert tm_val * bound >= forest.total_value * (1 - 1e-9)
+
+
+@given(forests_with_k())
+def test_layers_partition_value_lemma_3_17(fk):
+    forest, k = fk
+    trace = levelled_contraction(forest, k)
+    assert sum(layer.value for layer in trace.layers) == pytest.approx(
+        forest.total_value
+    )
+
+
+@given(forests_with_k())
+def test_layers_partition_nodes(fk):
+    forest, k = fk
+    trace = levelled_contraction(forest, k)
+    nodes = sorted(v for layer in trace.layers for v in layer.all_original_nodes)
+    assert nodes == list(range(forest.n))
+
+
+@given(forests_with_k())
+def test_iteration_count_lemma_3_18(fk):
+    forest, k = fk
+    trace = levelled_contraction(forest, k)
+    bound = math.log(forest.n) / math.log(k + 1) if forest.n > 1 else 0
+    assert trace.num_iterations <= bound + 1
+
+
+@given(forests_with_k())
+def test_layer_sizes_geometric_decay(fk):
+    forest, k = fk
+    sizes = levelled_contraction(forest, k).layer_sizes()
+    for a, b in zip(sizes, sizes[1:]):
+        assert a >= (k + 1) * b
+
+
+@given(forests_with_k())
+def test_tm_monotone_in_k(fk):
+    forest, k = fk
+    if k >= 2:
+        assert tm_optimal_value(forest, k) >= tm_optimal_value(forest, k - 1) - 1e-9
+
+
+@given(forests_with_k())
+def test_tm_never_exceeds_total(fk):
+    forest, k = fk
+    assert tm_optimal_value(forest, k) <= forest.total_value + 1e-9

@@ -1,0 +1,127 @@
+"""Cross-cutting property tests: compositions of modules that no single
+unit file covers.
+
+These target the seams: generator → algorithm → verifier chains, algorithm
+dominance relations, and idempotence of the normalising transforms.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget_edf import budget_edf
+from repro.core.classify import classify_and_select
+from repro.core.combined import schedule_k_bounded
+from repro.core.fixed_points import fixed_point_schedule
+from repro.core.nonpreemptive import nonpreemptive_combined
+from repro.core.reduction import reduce_schedule_to_k_preemptive
+from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.laminar import laminarize, laminarize_local
+from repro.scheduling.verify import verify_schedule
+
+
+@st.composite
+def jobsets(draw, max_jobs: int = 8):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=20))
+        p = draw(st.integers(min_value=1, max_value=6))
+        slack = draw(st.integers(min_value=0, max_value=12))
+        v = draw(st.integers(min_value=1, max_value=25))
+        jobs.append(Job(i, r, r + p + slack, p, v))
+    return JobSet(jobs)
+
+
+@given(jobsets(), st.integers(min_value=1, max_value=3))
+def test_pipeline_always_feasible_and_bounded(jobs, k):
+    s = schedule_k_bounded(jobs, k)
+    verify_schedule(s, k=k).assert_ok()
+
+
+@given(jobsets(), st.integers(min_value=1, max_value=3))
+def test_pipeline_at_least_best_single_job_when_one_fits(jobs, k):
+    # Any individual job is schedulable alone (window >= length), and the
+    # pipeline's whole-schedule reduction keeps at least the best root —
+    # so the result is never worse than... the weakest guarantee we can
+    # state universally: positive value whenever OPT accepted something.
+    s = schedule_k_bounded(jobs, k)
+    opt = edf_accept_max_subset(jobs)
+    if opt.value > 0:
+        assert s.value > 0
+
+
+@given(jobsets(), st.integers(min_value=1, max_value=3))
+def test_reduction_value_within_opt(jobs, k):
+    opt = edf_accept_max_subset(jobs)
+    red = reduce_schedule_to_k_preemptive(opt, k)
+    assert red.value <= opt.value + 1e-9
+
+
+@given(jobsets())
+def test_k_bounded_value_monotone_in_k_for_reduction(jobs):
+    opt = edf_accept_max_subset(jobs)
+    values = [reduce_schedule_to_k_preemptive(opt, k).value for k in (1, 2, 3)]
+    assert values == sorted(values)
+
+
+@given(jobsets())
+def test_laminarize_variants_agree_on_value(jobs):
+    sched = edf_accept_max_subset(jobs)
+    a = laminarize(sched)
+    b = laminarize_local(sched)
+    assert a.value == pytest.approx(b.value)
+    assert a.value == pytest.approx(sched.value)
+
+
+@given(jobsets())
+def test_laminarize_idempotent(jobs):
+    sched = edf_accept_max_subset(jobs)
+    once = laminarize(sched)
+    twice = laminarize(once)
+    for i in once.scheduled_ids:
+        assert twice[i] == once[i]
+
+
+@settings(max_examples=30)
+@given(jobsets(), st.integers(min_value=0, max_value=2))
+def test_all_k_bounded_schedulers_respect_budget(jobs, k):
+    schedulers = [
+        lambda: budget_edf(jobs, k),
+        lambda: fixed_point_schedule(jobs, k),
+        lambda: classify_and_select(jobs, k, key="length"),
+    ]
+    if k == 0:
+        schedulers.append(lambda: nonpreemptive_combined(jobs))
+    else:
+        schedulers.append(lambda: schedule_k_bounded(jobs, k))
+    for run in schedulers:
+        s = run()
+        verify_schedule(s, k=k).assert_ok()
+
+
+@given(jobsets())
+def test_feasible_sets_are_priceless_for_generous_k(jobs):
+    # When everything is EDF-feasible and k exceeds the nesting depth the
+    # reduction keeps everything: price exactly 1.
+    if not edf_feasible(jobs):
+        return
+    sched = edf_schedule(jobs).schedule
+    k = max((len(sched[i]) - 1 for i in sched.scheduled_ids), default=0)
+    k = max(k, 1) * jobs.n + 1  # absurdly generous budget
+    red = reduce_schedule_to_k_preemptive(sched, k)
+    assert red.value == pytest.approx(jobs.total_value)
+
+
+@given(jobsets(), st.integers(min_value=0, max_value=2))
+def test_subset_instances_never_gain_value(jobs, k):
+    # Removing a job can only reduce (or keep) any scheduler's achievable
+    # value upper bound: total value shrinks.
+    if jobs.n < 2:
+        return
+    smaller = jobs.without([jobs.ids[0]])
+    assert smaller.total_value <= jobs.total_value
+    if k >= 1:
+        a = schedule_k_bounded(jobs, k)
+        assert a.value <= jobs.total_value

@@ -1,0 +1,72 @@
+"""Property-based tests for EDF: feasibility semantics, laminarity and
+monotonicity over random integral instances."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
+from repro.scheduling.exact import k_feasible_subset_small
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.laminar import is_laminar
+from repro.scheduling.verify import verify_schedule
+
+
+@st.composite
+def integral_jobsets(draw, max_jobs: int = 7, horizon: int = 24):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=horizon - 2))
+        p = draw(st.integers(min_value=1, max_value=max(1, (horizon - r) // 2)))
+        slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
+        value = draw(st.integers(min_value=1, max_value=20))
+        jobs.append(Job(i, r, r + p + slack, p, value))
+    return JobSet(jobs)
+
+
+@given(integral_jobsets())
+def test_edf_schedule_verifies_when_feasible(jobs):
+    res = edf_schedule(jobs)
+    if res.feasible:
+        verify_schedule(res.schedule).assert_ok()
+        assert res.schedule.value == jobs.total_value
+
+
+@given(integral_jobsets())
+def test_edf_output_laminar(jobs):
+    res = edf_schedule(jobs)
+    if res.feasible:
+        assert is_laminar(res.schedule)
+
+
+@given(integral_jobsets())
+def test_feasibility_is_subset_monotone(jobs):
+    if edf_feasible(jobs):
+        for drop in jobs.ids[: min(3, jobs.n)]:
+            assert edf_feasible(jobs.without([drop]))
+
+
+@given(integral_jobsets())
+def test_edf_agrees_with_slot_oracle(jobs):
+    """Exact cross-check: EDF feasibility == existence of an unbounded
+    (k = horizon) slot schedule on small integral instances."""
+    horizon = int(jobs.horizon[1] - jobs.horizon[0])
+    assume(horizon <= 24)
+    oracle = k_feasible_subset_small(jobs, k=horizon, max_slots=24)
+    assert edf_feasible(jobs) == (oracle is not None)
+
+
+@given(integral_jobsets())
+def test_greedy_admission_always_feasible_and_never_empty_on_feasible_job(jobs):
+    s = edf_accept_max_subset(jobs)
+    verify_schedule(s).assert_ok()
+    # At least the densest individually-feasible job is accepted.
+    assert len(s) >= 1
+
+
+@given(integral_jobsets())
+def test_greedy_admission_value_at_most_total(jobs):
+    s = edf_accept_max_subset(jobs)
+    assert s.value <= jobs.total_value
+    if edf_feasible(jobs):
+        assert s.value == jobs.total_value

@@ -1,0 +1,109 @@
+"""Property-based tests for Forest invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bas.forest import Forest
+
+
+@st.composite
+def forests(draw, max_nodes: int = 40):
+    """Random forest: node i's parent drawn from {-1} ∪ {0..i-1}."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
+    values = [
+        draw(st.floats(min_value=0.01, max_value=100, allow_nan=False)) for _ in range(n)
+    ]
+    return Forest(parents, values)
+
+
+@given(forests())
+def test_children_consistent_with_parents(f):
+    for v in range(f.n):
+        for c in f.children(v):
+            assert f.parent(c) == v
+        p = f.parent(v)
+        if p != -1:
+            assert v in f.children(p)
+
+
+@given(forests())
+def test_roots_have_no_parent(f):
+    assert all(f.parent(r) == -1 for r in f.roots)
+    assert sum(1 for v in range(f.n) if f.parent(v) == -1) == len(f.roots)
+
+
+@given(forests())
+def test_topological_order_is_permutation_with_parents_first(f):
+    order = f.topological_order()
+    assert sorted(order) == list(range(f.n))
+    pos = {v: i for i, v in enumerate(order)}
+    for v in range(f.n):
+        p = f.parent(v)
+        if p != -1:
+            assert pos[p] < pos[v]
+
+
+@given(forests())
+def test_postorder_reverses_dominance(f):
+    pos = {v: i for i, v in enumerate(f.postorder())}
+    for v in range(f.n):
+        p = f.parent(v)
+        if p != -1:
+            assert pos[v] < pos[p]
+
+
+@given(forests())
+def test_depths_match_ancestor_chains(f):
+    depths = f.depths()
+    for v in range(f.n):
+        assert depths[v] == len(f.ancestors(v))
+
+
+@given(forests())
+def test_subtree_values_sum_to_total_at_roots(f):
+    # approx: float addition order differs between the two computations
+    import pytest
+
+    assert sum(f.subtree_value(r) for r in f.roots) == pytest.approx(sum(f.values))
+
+
+@given(forests())
+def test_subtree_nodes_closed_under_parent(f):
+    for r in f.roots:
+        nodes = set(f.subtree_nodes(r))
+        for v in nodes:
+            if v != r:
+                assert f.parent(v) in nodes
+
+
+@given(forests())
+def test_is_ancestor_agrees_with_ancestors_list(f):
+    for v in range(min(f.n, 10)):
+        ancs = set(f.ancestors(v))
+        for u in range(f.n):
+            assert f.is_ancestor(u, v) == (u in ancs)
+
+
+@given(forests())
+def test_leaf_count_plus_degrees(f):
+    # Sum of degrees equals number of non-root nodes.
+    assert sum(f.degree(v) for v in range(f.n)) == f.n - len(f.roots)
+
+
+@given(forests(), st.data())
+def test_relabeled_preserves_values_and_edges(f, data):
+    keep = data.draw(
+        st.lists(st.integers(min_value=0, max_value=f.n - 1), unique=True, min_size=1)
+    )
+    sub, mapping = f.relabeled(keep)
+    assert sub.n == len(set(keep))
+    for old, new in mapping.items():
+        assert sub.value(new) == f.value(old)
+        p = f.parent(old)
+        if p in mapping:
+            assert sub.parent(new) == mapping[p]
+        else:
+            assert sub.parent(new) == -1

@@ -1,0 +1,91 @@
+"""Property-based tests for LSA / LSA_CS and the k = 0 algorithms."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lsa import lsa, lsa_cs
+from repro.core.nonpreemptive import nonpreemptive_combined, nonpreemptive_lsa_cs
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.verify import verify_schedule
+
+
+@st.composite
+def lax_jobsets(draw, max_jobs: int = 12):
+    """Random job sets that are lax for the drawn k (λ >= k + 1)."""
+    k = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        p = draw(st.integers(min_value=1, max_value=16))
+        lam_extra = draw(st.integers(min_value=0, max_value=8))
+        window = p * (k + 1) + lam_extra
+        r = draw(st.integers(min_value=0, max_value=60))
+        value = draw(st.integers(min_value=1, max_value=30))
+        jobs.append(Job(i, r, r + window, p, value))
+    return JobSet(jobs), k
+
+
+@given(lax_jobsets())
+def test_lsa_output_feasible_within_budget(jk):
+    jobs, k = jk
+    s = lsa(jobs, k)
+    verify_schedule(s, k=k).assert_ok()
+
+
+@given(lax_jobsets())
+def test_lsa_schedules_first_job_always(jk):
+    # The densest job sees an empty machine and a window >= (k+1)p: it is
+    # always accepted.
+    jobs, k = jk
+    s = lsa(jobs, k)
+    first = jobs.sorted_by_density()[0]
+    assert first.id in s
+
+
+@given(lax_jobsets())
+def test_lsa_cs_feasible_and_at_least_best_class(jk):
+    jobs, k = jk
+    best, per_class = lsa_cs(jobs, k, return_all_classes=True)
+    verify_schedule(best, k=k).assert_ok()
+    assert best.value == max(s.value for s in per_class.values())
+
+
+@given(lax_jobsets())
+def test_lsa_cs_value_never_exceeds_total(jk):
+    jobs, k = jk
+    s = lsa_cs(jobs, k)
+    assert s.value <= jobs.total_value
+
+
+@st.composite
+def any_jobsets(draw, max_jobs: int = 12):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=40))
+        p = draw(st.integers(min_value=1, max_value=12))
+        slack = draw(st.integers(min_value=0, max_value=20))
+        value = draw(st.integers(min_value=1, max_value=30))
+        jobs.append(Job(i, r, r + p + slack, p, value))
+    return JobSet(jobs)
+
+
+@given(any_jobsets())
+def test_nonpreemptive_lsa_cs_never_preempts(jobs):
+    s = nonpreemptive_lsa_cs(jobs)
+    assert s.max_preemptions == 0
+    verify_schedule(s, k=0).assert_ok()
+
+
+@given(any_jobsets())
+def test_nonpreemptive_combined_at_least_best_single_job(jobs):
+    s = nonpreemptive_combined(jobs)
+    assert s.value >= max(j.value for j in jobs) - 1e-9
+    verify_schedule(s, k=0).assert_ok()
+
+
+@given(any_jobsets())
+def test_nonpreemptive_combined_n_bound(jobs):
+    # val >= total/n certifies the n-arm of Section 5.
+    s = nonpreemptive_combined(jobs)
+    assert s.value * jobs.n >= jobs.total_value * (1 - 1e-9)

@@ -1,0 +1,97 @@
+"""Property-based tests for the full reduction pipeline (Theorem 4.2)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import (
+    forest_to_schedule,
+    reduce_schedule_to_k_preemptive,
+    schedule_to_forest,
+)
+from repro.core.bas.subforest import SubForest
+from repro.core.bas.tm import tm_optimal_bas
+from repro.scheduling.edf import edf_accept_max_subset
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.laminar import is_laminar
+from repro.scheduling.verify import verify_schedule
+
+
+@st.composite
+def feasible_schedules(draw, max_jobs: int = 8, horizon: int = 30):
+    """A feasible laminar schedule: EDF admission over a random instance."""
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=horizon - 2))
+        p = draw(st.integers(min_value=1, max_value=max(1, (horizon - r) // 2)))
+        slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
+        value = draw(st.integers(min_value=1, max_value=20))
+        jobs.append(Job(i, r, r + p + slack, p, value))
+    return edf_accept_max_subset(JobSet(jobs))
+
+
+@given(feasible_schedules(), st.integers(min_value=1, max_value=3))
+def test_reduction_feasible_and_within_budget(sched, k):
+    out = reduce_schedule_to_k_preemptive(sched, k)
+    verify_schedule(out, k=k).assert_ok()
+
+
+@given(feasible_schedules(), st.integers(min_value=1, max_value=3))
+def test_reduction_value_guarantee(sched, k):
+    out = reduce_schedule_to_k_preemptive(sched, k)
+    n = len(sched)
+    bound = max(1.0, math.log(n) / math.log(k + 1)) if n > 1 else 1.0
+    assert out.value * bound >= sched.value * (1 - 1e-9)
+
+
+@given(feasible_schedules(), st.integers(min_value=1, max_value=3))
+def test_reduction_keeps_subset_of_jobs(sched, k):
+    out = reduce_schedule_to_k_preemptive(sched, k)
+    assert set(out.scheduled_ids) <= set(sched.scheduled_ids)
+
+
+@given(feasible_schedules())
+def test_forest_roundtrip_with_full_retention(sched):
+    if len(sched) == 0:
+        return
+    forest, node_to_job = schedule_to_forest(sched)
+    bas = SubForest(forest, range(forest.n))
+    out = forest_to_schedule(sched, node_to_job, bas)
+    verify_schedule(out).assert_ok()
+    assert out.value == sched.value
+    # Compaction never increases any job's segment count.
+    for job_id in out.scheduled_ids:
+        assert len(out[job_id]) <= len(sched[job_id])
+
+
+@given(feasible_schedules())
+def test_forest_reflects_preemption_structure(sched):
+    if len(sched) == 0:
+        return
+    forest, node_to_job = schedule_to_forest(sched)
+    assert forest.n == len(sched)
+    # A job with s segments was preempted s-1 times: it needs at least s-1
+    # descendants in the forest (each gap holds at least one).
+    for v in range(forest.n):
+        job_id = node_to_job[v]
+        gaps = len(sched[job_id]) - 1
+        assert len(forest.subtree_nodes(v)) - 1 >= gaps
+
+
+@given(feasible_schedules(), st.integers(min_value=1, max_value=3))
+def test_tm_on_schedule_forest_is_valid(sched, k):
+    if len(sched) == 0:
+        return
+    forest, node_to_job = schedule_to_forest(sched)
+    bas = tm_optimal_bas(forest, k)
+    out = forest_to_schedule(sched, node_to_job, bas)
+    verify_schedule(out, k=k).assert_ok()
+    # Reduced value equals the BAS value exactly.
+    assert out.value == bas.value
+
+
+@given(feasible_schedules())
+def test_edf_admission_output_laminar(sched):
+    assert is_laminar(sched)

@@ -1,0 +1,111 @@
+"""Property-based tests for segment algebra and timeline bookkeeping."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scheduling.segment import (
+    Segment,
+    complement_within,
+    disjoint,
+    merge_touching,
+    sort_segments,
+    total_length,
+)
+from repro.scheduling.timeline import Timeline, allocate_leftmost
+
+
+@st.composite
+def segment_lists(draw, max_segments: int = 12):
+    """Random disjoint segment lists over integer coordinates in [0, 100]."""
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=2,
+            max_size=2 * max_segments,
+            unique=True,
+        )
+    )
+    cuts.sort()
+    segs = []
+    for a, b in zip(cuts[::2], cuts[1::2]):
+        if b > a:
+            segs.append(Segment(a, b))
+    return segs
+
+
+@given(segment_lists())
+def test_merge_touching_idempotent(segs):
+    once = merge_touching(segs)
+    assert merge_touching(once) == once
+
+
+@given(segment_lists())
+def test_merge_touching_preserves_measure(segs):
+    assert total_length(merge_touching(segs)) == total_length(segs)
+
+
+@given(segment_lists())
+def test_merge_output_strictly_separated(segs):
+    out = merge_touching(segs)
+    for a, b in zip(out, out[1:]):
+        assert a.end < b.start
+
+
+@given(segment_lists())
+def test_complement_partitions_window(segs):
+    gaps = complement_within(segs, 0, 100)
+    clipped = [s.clip(0, 100) for s in segs]
+    clipped = [s for s in clipped if s is not None]
+    assert total_length(gaps) + total_length(clipped) == 100
+    assert disjoint(gaps + clipped)
+
+
+@given(segment_lists())
+def test_complement_of_complement_restores_busy(segs):
+    busy = merge_touching(segs)
+    gaps = complement_within(busy, 0, 100)
+    restored = complement_within(gaps, 0, 100)
+    # Restored busy must equal the original busy clipped to [0, 100].
+    expected = [s.clip(0, 100) for s in busy]
+    expected = merge_touching([s for s in expected if s is not None])
+    assert restored == expected
+
+
+@given(segment_lists())
+def test_sort_segments_ordered_and_permutation(segs):
+    out = sort_segments(segs)
+    assert sorted((s.start, s.end) for s in segs) == [(s.start, s.end) for s in out]
+    for a, b in zip(out, out[1:]):
+        assert a.start <= b.start
+
+
+@given(segment_lists(), st.integers(min_value=1, max_value=50))
+def test_timeline_book_then_idle_consistency(segs, probe_len):
+    tl = Timeline()
+    busy = merge_touching(segs)
+    if busy:
+        tl.book(busy)
+    idles = tl.idle_in(0, 100)
+    # Idle + busy tile the window exactly.
+    clipped_busy = [s.clip(0, 100) for s in busy]
+    clipped_busy = [s for s in clipped_busy if s is not None]
+    assert total_length(idles) + total_length(clipped_busy) == 100
+    # Every reported idle interval really is idle.
+    for idle in idles:
+        assert tl.is_idle(idle)
+
+
+@given(segment_lists(), st.integers(min_value=1, max_value=60))
+def test_allocate_leftmost_exactness(segs, need):
+    idles = merge_touching(segs)
+    pieces = allocate_leftmost(idles, need)
+    capacity = total_length(idles)
+    if capacity >= need:
+        assert pieces is not None
+        assert total_length(pieces) == need
+        # Each piece sits inside some idle interval.
+        for p in pieces:
+            assert any(i.contains(p) for i in idles)
+        assert disjoint(pieces)
+    else:
+        assert pieces is None

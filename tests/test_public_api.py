@@ -1,0 +1,93 @@
+"""Public-API surface tests: the documented imports must keep working.
+
+Guards the packaging seams: every name in each package's ``__all__``
+resolves, the README/tutorial import paths exist, and the version string
+is sane.  A rename that breaks downstream users fails here first.
+"""
+
+import importlib
+
+import pytest
+
+
+PACKAGES = [
+    "repro",
+    "repro.scheduling",
+    "repro.core",
+    "repro.core.bas",
+    "repro.instances",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    exported = getattr(mod, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(mod, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart_imports():
+    from repro import (  # noqa: F401
+        make_jobs,
+        opt_infty_exact,
+        schedule_k_bounded,
+        verify_schedule,
+    )
+
+
+def test_tutorial_imports():
+    from repro import (  # noqa: F401
+        Forest,
+        Schedule,
+        Segment,
+        edf_feasible,
+        edf_schedule,
+        levelled_contraction,
+        lsa_cs,
+        reduce_schedule_to_k_preemptive,
+        schedule_to_forest,
+        tm_optimal_bas,
+        verify_bas,
+    )
+    from repro.core.preemption_cost import optimal_budget  # noqa: F401
+    from repro.scheduling.exact import opt_infty_value  # noqa: F401
+    from repro.scheduling.lawler_dp import lawler_optimal_value  # noqa: F401
+
+
+def test_experiment_registry_matches_cli_descriptions():
+    from repro.analysis.experiments import EXPERIMENTS
+    from repro.cli import _DESCRIPTIONS
+
+    assert set(_DESCRIPTIONS) == set(EXPERIMENTS)
+
+
+def test_cell_registry_docstrings():
+    from repro.analysis.config import CELL_REGISTRY
+
+    for name, fn in CELL_REGISTRY.items():
+        assert fn.__doc__, f"cell {name!r} needs a docstring (shown by `repro-bench cells`)"
+
+
+def test_io_rejects_boolean_coordinates():
+    from repro.scheduling.io import _encode_number
+
+    with pytest.raises(TypeError):
+        _encode_number(True)
+
+
+def test_entry_point_callable():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["--help"])

@@ -1,0 +1,84 @@
+"""Tests for the reproduction-report orchestrator."""
+
+import pytest
+
+from repro.analysis.report import (
+    ExperimentOutcome,
+    render_report,
+    run_full_report,
+    write_report,
+)
+from repro.analysis.tables import Table
+
+
+class TestRunFullReport:
+    def test_selected_subset(self):
+        outcomes = run_full_report(names=["e7a", "e1"])
+        assert [o.name for o in outcomes] == ["e7a", "e1"]
+        assert all(o.ok for o in outcomes)
+        assert all(o.table is not None for o in outcomes)
+
+    def test_timings_recorded(self):
+        outcomes = run_full_report(names=["e7a"])
+        assert outcomes[0].seconds >= 0
+
+    def test_keep_going_records_failure(self, monkeypatch):
+        from repro.analysis import experiments
+
+        def boom():
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(experiments.EXPERIMENTS, "e_boom", boom)
+        outcomes = run_full_report(names=["e_boom", "e7a"])
+        assert not outcomes[0].ok
+        assert "synthetic failure" in outcomes[0].error
+        assert outcomes[1].ok
+
+    def test_fail_fast(self, monkeypatch):
+        from repro.analysis import experiments
+
+        def boom():
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(experiments.EXPERIMENTS, "e_boom", boom)
+        with pytest.raises(RuntimeError):
+            run_full_report(names=["e_boom"], keep_going=False)
+
+
+class TestRenderReport:
+    def test_summary_line(self):
+        t = Table("demo", ["a"])
+        t.add_row(1)
+        outcomes = [
+            ExperimentOutcome("e_x", True, 0.1, t, None),
+            ExperimentOutcome("e_y", False, 0.2, None, "boom"),
+        ]
+        md = render_report(outcomes)
+        assert "1/2 experiments passed" in md
+        assert "✓" in md and "✗" in md
+        assert "### demo" in md
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        outcomes = write_report(str(path), names=["e7a"])
+        assert outcomes[0].ok
+        assert "experiments passed" in path.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys, monkeypatch):
+        from repro.analysis import experiments
+        from repro.analysis.experiments import e7_k0_geometric_chain
+        from repro.cli import main
+
+        # Shrink the registry so the CLI test stays fast; the full-suite run
+        # is exercised by `python -m repro report` in the benchmark docs.
+        from repro.analysis import report as report_module
+
+        monkeypatch.setattr(
+            report_module, "EXPERIMENTS", {"e7a": e7_k0_geometric_chain}
+        )
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert "1/1 experiments passed" in capsys.readouterr().out
+        assert out.exists()

@@ -1,0 +1,54 @@
+"""Unit tests for the RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng, shuffled, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        rng = make_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random() for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_reproducible(self):
+        a = [r.random() for r in spawn_rngs(99, 4)]
+        b = [r.random() for r in spawn_rngs(99, 4)]
+        assert a == b
+
+    def test_prefix_stability(self):
+        # Asking for more streams must not change the earlier ones.
+        a = [r.random() for r in spawn_rngs(1, 2)]
+        b = [r.random() for r in spawn_rngs(1, 5)][:2]
+        assert a == b
+
+
+class TestShuffled:
+    def test_is_permutation(self):
+        items = list(range(20))
+        out = shuffled(items, 3)
+        assert sorted(out) == items
+
+    def test_input_untouched(self):
+        items = [3, 1, 2]
+        shuffled(items, 0)
+        assert items == [3, 1, 2]
+
+    def test_deterministic(self):
+        assert shuffled(range(10), 5) == shuffled(range(10), 5)

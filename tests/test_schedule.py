@@ -1,0 +1,135 @@
+"""Unit tests for Schedule / MultiMachineSchedule."""
+
+import pytest
+
+from repro.scheduling.job import make_jobs
+from repro.scheduling.schedule import (
+    MultiMachineSchedule,
+    Schedule,
+    best_single_job,
+    empty_schedule,
+    single_job_schedule,
+)
+from repro.scheduling.segment import Segment
+
+
+@pytest.fixture
+def two_job_schedule(simple_jobs):
+    return Schedule(
+        simple_jobs,
+        {
+            0: [Segment(0, 3), Segment(5, 7)],
+            1: [Segment(3, 5), Segment(7, 9)],
+        },
+    )
+
+
+class TestConstruction:
+    def test_unknown_job_id(self, simple_jobs):
+        with pytest.raises(KeyError):
+            Schedule(simple_jobs, {99: [Segment(0, 1)]})
+
+    def test_empty_segment_list_rejected(self, simple_jobs):
+        with pytest.raises(ValueError, match="no segments"):
+            Schedule(simple_jobs, {0: []})
+
+    def test_touching_segments_coalesce(self, simple_jobs):
+        s = Schedule(simple_jobs, {0: [Segment(0, 2), Segment(2, 5)]})
+        assert s[0] == (Segment(0, 5),)
+        assert s.preemptions(0) == 0
+
+    def test_segments_sorted(self, simple_jobs):
+        s = Schedule(simple_jobs, {0: [Segment(4, 5), Segment(0, 1)]})
+        assert s[0][0].start == 0
+
+
+class TestAccounting:
+    def test_value(self, two_job_schedule):
+        assert two_job_schedule.value == pytest.approx(11.0)
+
+    def test_len_contains(self, two_job_schedule):
+        assert len(two_job_schedule) == 2
+        assert 0 in two_job_schedule and 2 not in two_job_schedule
+
+    def test_preemptions(self, two_job_schedule):
+        assert two_job_schedule.preemptions(0) == 1
+        assert two_job_schedule.max_preemptions == 1
+
+    def test_is_k_preemptive(self, two_job_schedule):
+        assert two_job_schedule.is_k_preemptive(1)
+        assert not two_job_schedule.is_k_preemptive(0)
+
+    def test_empty_schedule_max_preemptions(self, simple_jobs):
+        assert empty_schedule(simple_jobs).max_preemptions == 0
+
+
+class TestTimelineViews:
+    def test_all_segments_ordered(self, two_job_schedule):
+        flat = two_job_schedule.all_segments()
+        starts = [seg.start for seg, _ in flat]
+        assert starts == sorted(starts)
+        assert len(flat) == 4
+
+    def test_busy_segments_merge(self, two_job_schedule):
+        assert two_job_schedule.busy_segments() == [Segment(0, 9)]
+
+    def test_idle_segments(self, two_job_schedule):
+        idles = two_job_schedule.idle_segments(0, 12)
+        assert idles == [Segment(9, 12)]
+
+    def test_hull(self, two_job_schedule):
+        assert two_job_schedule.hull(0) == (0, 7)
+
+
+class TestDerivedSchedules:
+    def test_restricted_to(self, two_job_schedule):
+        r = two_job_schedule.restricted_to([1])
+        assert r.scheduled_ids == [1]
+        assert r.value == pytest.approx(5.0)
+
+    def test_scheduled_subset(self, two_job_schedule):
+        sub = two_job_schedule.scheduled_subset()
+        assert sub.ids == [0, 1]
+
+    def test_single_job_schedule(self, simple_jobs):
+        s = single_job_schedule(simple_jobs, 4)
+        assert s[4] == (Segment(8, 17),)
+
+    def test_best_single_job(self, simple_jobs):
+        s = best_single_job(simple_jobs)
+        assert s.scheduled_ids == [4]  # value 7 is the max
+
+    def test_best_single_job_empty(self):
+        jobs = make_jobs([])
+        assert best_single_job(jobs).value == 0
+
+
+class TestMultiMachine:
+    def test_value_sums(self, simple_jobs):
+        m0 = Schedule(simple_jobs, {0: [Segment(0, 5)]})
+        m1 = Schedule(simple_jobs, {1: [Segment(1, 5)]})
+        mm = MultiMachineSchedule(simple_jobs, [m0, m1])
+        assert mm.value == pytest.approx(11.0)
+        assert mm.num_machines == 2
+        assert mm.scheduled_ids == [0, 1]
+
+    def test_duplicate_job_across_machines_rejected(self, simple_jobs):
+        m0 = Schedule(simple_jobs, {0: [Segment(0, 5)]})
+        with pytest.raises(ValueError, match="non-migrative"):
+            MultiMachineSchedule(simple_jobs, [m0, m0])
+
+    def test_machine_of(self, simple_jobs):
+        m0 = Schedule(simple_jobs, {0: [Segment(0, 5)]})
+        m1 = Schedule(simple_jobs, {1: [Segment(1, 5)]})
+        mm = MultiMachineSchedule(simple_jobs, [m0, m1])
+        assert mm.machine_of(0) == 0
+        assert mm.machine_of(1) == 1
+        assert mm.machine_of(2) is None
+
+    def test_k_preemptive_across_machines(self, simple_jobs):
+        m0 = Schedule(simple_jobs, {0: [Segment(0, 2), Segment(3, 6)]})
+        m1 = Schedule(simple_jobs, {1: [Segment(1, 5)]})
+        mm = MultiMachineSchedule(simple_jobs, [m0, m1])
+        assert mm.max_preemptions == 1
+        assert mm.is_k_preemptive(1)
+        assert not mm.is_k_preemptive(0)

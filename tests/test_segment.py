@@ -1,0 +1,149 @@
+"""Unit tests for segments and interval utilities (Section 2.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scheduling.segment import (
+    Segment,
+    complement_within,
+    coverage_hull,
+    disjoint,
+    drop_zero_length,
+    merge_touching,
+    sort_segments,
+    total_length,
+)
+
+
+class TestSegmentBasics:
+    def test_length(self):
+        assert Segment(2, 5).length == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Segment(3, 3)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Segment(5, 3)
+
+    def test_fraction_segment(self):
+        s = Segment(Fraction(1, 3), Fraction(2, 3))
+        assert s.length == Fraction(1, 3)
+
+
+class TestPrecedence:
+    def test_precedes_disjoint(self):
+        assert Segment(0, 2).precedes(Segment(3, 4))
+
+    def test_precedes_touching(self):
+        # t1 <= s2 with equality: touching segments are ordered (Sec 2.2).
+        assert Segment(0, 2).precedes(Segment(2, 4))
+
+    def test_not_precedes_overlap(self):
+        assert not Segment(0, 3).precedes(Segment(2, 4))
+
+    def test_total_order_on_disjoint(self):
+        segs = [Segment(4, 5), Segment(0, 1), Segment(2, 3)]
+        ordered = sort_segments(segs)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.precedes(b)
+
+
+class TestOverlapContain:
+    def test_overlaps(self):
+        assert Segment(0, 3).overlaps(Segment(2, 5))
+
+    def test_touching_does_not_overlap(self):
+        assert not Segment(0, 2).overlaps(Segment(2, 4))
+
+    def test_contains(self):
+        assert Segment(0, 10).contains(Segment(3, 7))
+        assert not Segment(0, 10).contains(Segment(3, 12))
+
+    def test_contains_point(self):
+        s = Segment(2, 5)
+        assert s.contains_point(2)
+        assert s.contains_point(4.9)
+        assert not s.contains_point(5)  # half-open
+
+    def test_intersect(self):
+        assert Segment(0, 4).intersect(Segment(2, 6)) == Segment(2, 4)
+        assert Segment(0, 2).intersect(Segment(2, 4)) is None
+
+    def test_clip(self):
+        assert Segment(0, 10).clip(3, 7) == Segment(3, 7)
+        assert Segment(0, 2).clip(5, 9) is None
+
+    def test_touches(self):
+        assert Segment(0, 2).touches(Segment(2, 5))
+        assert Segment(2, 5).touches(Segment(0, 2))
+        assert not Segment(0, 2).touches(Segment(3, 5))
+
+
+class TestMergeTouching:
+    def test_merges_adjacent(self):
+        assert merge_touching([Segment(0, 2), Segment(2, 5)]) == [Segment(0, 5)]
+
+    def test_merges_overlapping(self):
+        assert merge_touching([Segment(0, 3), Segment(2, 5)]) == [Segment(0, 5)]
+
+    def test_keeps_gaps(self):
+        out = merge_touching([Segment(0, 2), Segment(3, 5)])
+        assert out == [Segment(0, 2), Segment(3, 5)]
+
+    def test_unsorted_input(self):
+        out = merge_touching([Segment(3, 5), Segment(0, 2), Segment(2, 3)])
+        assert out == [Segment(0, 5)]
+
+    def test_empty(self):
+        assert merge_touching([]) == []
+
+
+class TestComplementWithin:
+    def test_full_idle(self):
+        assert complement_within([], 0, 10) == [Segment(0, 10)]
+
+    def test_gaps_between_busy(self):
+        gaps = complement_within([Segment(2, 4), Segment(6, 8)], 0, 10)
+        assert gaps == [Segment(0, 2), Segment(4, 6), Segment(8, 10)]
+
+    def test_busy_spanning_window_edge(self):
+        gaps = complement_within([Segment(-5, 3)], 0, 10)
+        assert gaps == [Segment(3, 10)]
+
+    def test_fully_busy(self):
+        assert complement_within([Segment(0, 10)], 0, 10) == []
+
+    def test_empty_window(self):
+        assert complement_within([Segment(0, 1)], 5, 5) == []
+
+    def test_busy_outside_window_ignored(self):
+        gaps = complement_within([Segment(20, 30)], 0, 10)
+        assert gaps == [Segment(0, 10)]
+
+
+class TestMisc:
+    def test_total_length(self):
+        assert total_length([Segment(0, 2), Segment(5, 6)]) == 3
+
+    def test_disjoint_true(self):
+        assert disjoint([Segment(0, 2), Segment(2, 3), Segment(5, 6)])
+
+    def test_disjoint_false(self):
+        assert not disjoint([Segment(0, 3), Segment(2, 4)])
+
+    def test_coverage_hull(self):
+        assert coverage_hull([Segment(3, 4), Segment(0, 1)]) == (0, 4)
+
+    def test_coverage_hull_empty_raises(self):
+        with pytest.raises(ValueError):
+            coverage_hull([])
+
+    def test_drop_zero_length(self):
+        out = drop_zero_length([(0, 2), (3, 3), (4, 6)])
+        assert out == [Segment(0, 2), Segment(4, 6)]
+
+    def test_shifted(self):
+        assert Segment(1, 3).shifted(10) == Segment(11, 13)

@@ -1,0 +1,79 @@
+"""Unit tests for the SubForest result object."""
+
+import pytest
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+
+
+@pytest.fixture
+def tree():
+    #        0
+    #      /   \
+    #     1     2
+    #    / \   / \
+    #   3   4 5   6
+    return Forest([-1, 0, 0, 1, 1, 2, 2], [8, 4, 4, 1, 2, 3, 1])
+
+
+class TestBasics:
+    def test_value(self, tree):
+        sub = SubForest(tree, [0, 1, 4])
+        assert sub.value == 14
+
+    def test_len_contains(self, tree):
+        sub = SubForest(tree, [2, 5])
+        assert len(sub) == 2
+        assert 5 in sub and 0 not in sub
+
+    def test_out_of_range_rejected(self, tree):
+        with pytest.raises(ValueError):
+            SubForest(tree, [99])
+
+    def test_loss_factor(self, tree):
+        sub = SubForest(tree, [0, 1, 2])  # value 16 of 23
+        assert sub.loss_factor() == pytest.approx(23 / 16)
+
+    def test_loss_factor_empty(self, tree):
+        assert SubForest(tree, []).loss_factor() == float("inf")
+
+
+class TestInducedStructure:
+    def test_induced_children(self, tree):
+        sub = SubForest(tree, [0, 1, 4, 6])
+        assert sub.induced_children(0) == [1]
+        assert sub.induced_children(1) == [4]
+
+    def test_induced_children_requires_membership(self, tree):
+        sub = SubForest(tree, [0])
+        with pytest.raises(KeyError):
+            sub.induced_children(1)
+
+    def test_induced_degree(self, tree):
+        sub = SubForest(tree, [0, 1, 2])
+        assert sub.induced_degree(0) == 2
+        assert sub.induced_degree(1) == 0
+
+    def test_max_induced_degree(self, tree):
+        sub = SubForest(tree, [0, 1, 2])
+        assert sub.max_induced_degree() == 2
+        assert SubForest(tree, []).max_induced_degree() == 0
+
+
+class TestComponents:
+    def test_single_component(self, tree):
+        sub = SubForest(tree, [0, 1, 3])
+        assert sub.component_roots() == [0]
+        assert sub.components() == [[0, 1, 3]]
+
+    def test_sibling_components(self, tree):
+        # Root removed: the two subtrees are independent components.
+        sub = SubForest(tree, [1, 3, 4, 2, 5])
+        assert sub.component_roots() == [1, 2]
+        comps = sub.components()
+        assert [1, 3, 4] in comps and [2, 5] in comps
+
+    def test_leaf_only_components(self, tree):
+        sub = SubForest(tree, [3, 5])
+        assert sub.component_roots() == [3, 5]
+        assert sub.components() == [[3], [5]]

@@ -1,0 +1,73 @@
+"""Unit tests for the Table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+@pytest.fixture
+def table():
+    t = Table("Demo", ["name", "x", "ok"])
+    t.add_row("alpha", 1.5, True)
+    t.add_row("beta", 2.0, False)
+    return t
+
+
+class TestRows:
+    def test_add_row_validates_arity(self, table):
+        with pytest.raises(ValueError):
+            table.add_row("gamma", 3.0)
+
+    def test_column_extraction(self, table):
+        assert table.column("x") == [1.5, 2.0]
+        assert table.column("ok") == [True, False]
+
+    def test_column_unknown(self, table):
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+
+class TestAsciiRender:
+    def test_contains_title_and_data(self, table):
+        out = table.render()
+        assert "Demo" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_bools_rendered_as_yes_no(self, table):
+        out = table.render()
+        assert "yes" in out and "no" in out
+
+    def test_integral_floats_shown_as_ints(self, table):
+        assert " 2" in table.render()
+        assert "2.0" not in table.render().replace("1.5", "")
+
+    def test_notes_appear(self, table):
+        table.add_note("hello note")
+        assert "note: hello note" in table.render()
+
+    def test_empty_table_renders(self):
+        t = Table("Empty", ["a", "b"])
+        out = t.render()
+        assert "Empty" in out and "a" in out
+
+    def test_str_is_render(self, table):
+        assert str(table) == table.render()
+
+
+class TestMarkdownRender:
+    def test_pipe_structure(self, table):
+        md = table.render_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("### Demo")
+        assert lines[2].startswith("| name |")
+        assert lines[3].startswith("|---")
+        assert md.count("|") >= 4 * 3
+
+    def test_notes_italic(self, table):
+        table.add_note("important")
+        assert "*important*" in table.render_markdown()
+
+    def test_precision_control(self):
+        t = Table("P", ["v"])
+        t.add_row(3.14159265)
+        assert "3.14" in t.render(precision=3)

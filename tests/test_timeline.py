@@ -1,0 +1,120 @@
+"""Unit tests for the Timeline idle/busy structure behind LSA."""
+
+import pytest
+
+from repro.scheduling.segment import Segment
+from repro.scheduling.timeline import Timeline, allocate_leftmost, leftmost_fit_single
+
+
+class TestTimelineBasics:
+    def test_starts_empty(self):
+        tl = Timeline()
+        assert tl.busy == []
+        assert tl.idle_in(0, 10) == [Segment(0, 10)]
+
+    def test_book_and_query(self):
+        tl = Timeline()
+        tl.book([Segment(2, 4)])
+        assert tl.idle_in(0, 10) == [Segment(0, 2), Segment(4, 10)]
+
+    def test_book_merges_touching(self):
+        tl = Timeline()
+        tl.book([Segment(0, 2)])
+        tl.book([Segment(2, 4)])
+        assert tl.busy == [Segment(0, 4)]
+
+    def test_book_overlap_rejected(self):
+        tl = Timeline()
+        tl.book([Segment(0, 4)])
+        with pytest.raises(ValueError, match="overlaps"):
+            tl.book([Segment(3, 5)])
+
+    def test_initial_busy(self):
+        tl = Timeline([Segment(5, 7), Segment(0, 2)])
+        assert tl.busy == [Segment(0, 2), Segment(5, 7)]
+
+    def test_total_busy(self):
+        tl = Timeline([Segment(0, 2), Segment(5, 7)])
+        assert tl.total_busy() == 4
+
+    def test_copy_is_independent(self):
+        tl = Timeline([Segment(0, 2)])
+        clone = tl.copy()
+        clone.book([Segment(5, 6)])
+        assert tl.busy == [Segment(0, 2)]
+
+
+class TestIsIdle:
+    def test_idle_between_busy(self):
+        tl = Timeline([Segment(0, 2), Segment(5, 7)])
+        assert tl.is_idle(Segment(2, 5))
+        assert tl.is_idle(Segment(3, 4))
+
+    def test_not_idle_touching_interior(self):
+        tl = Timeline([Segment(0, 2)])
+        assert not tl.is_idle(Segment(1, 3))
+
+    def test_idle_touching_boundary(self):
+        tl = Timeline([Segment(0, 2)])
+        assert tl.is_idle(Segment(2, 3))
+
+
+class TestWindowQueries:
+    def test_idle_in_clips(self):
+        tl = Timeline([Segment(3, 5)])
+        assert tl.idle_in(4, 8) == [Segment(5, 8)]
+
+    def test_idle_in_empty_window(self):
+        tl = Timeline()
+        assert tl.idle_in(5, 5) == []
+
+    def test_busy_in(self):
+        tl = Timeline([Segment(0, 4), Segment(6, 9)])
+        assert tl.busy_in(2, 7) == [Segment(2, 4), Segment(6, 7)]
+
+    def test_load_in(self):
+        tl = Timeline([Segment(0, 5)])
+        assert tl.load_in(0, 10) == pytest.approx(0.5)
+
+    def test_load_in_empty_window(self):
+        tl = Timeline()
+        assert tl.load_in(3, 3) == 0
+
+
+class TestAllocateLeftmost:
+    def test_single_interval(self):
+        pieces = allocate_leftmost([Segment(0, 10)], 4)
+        assert pieces == [Segment(0, 4)]
+
+    def test_spans_intervals(self):
+        pieces = allocate_leftmost([Segment(0, 2), Segment(5, 8)], 4)
+        assert pieces == [Segment(0, 2), Segment(5, 7)]
+
+    def test_exact_fit(self):
+        pieces = allocate_leftmost([Segment(0, 2), Segment(5, 7)], 4)
+        assert pieces == [Segment(0, 2), Segment(5, 7)]
+
+    def test_insufficient_capacity(self):
+        assert allocate_leftmost([Segment(0, 2)], 4) is None
+
+    def test_max_pieces_respected(self):
+        # Enough total room but only within 3 pieces; cap at 2 fails.
+        idles = [Segment(0, 1), Segment(2, 3), Segment(4, 5)]
+        assert allocate_leftmost(idles, 3, max_pieces=2) is None
+        assert allocate_leftmost(idles, 2, max_pieces=2) is not None
+
+    def test_skips_after_filled(self):
+        pieces = allocate_leftmost([Segment(0, 5), Segment(7, 9)], 3)
+        assert pieces == [Segment(0, 3)]
+
+
+class TestLeftmostFitSingle:
+    def test_picks_first_fitting(self):
+        idles = [Segment(0, 1), Segment(3, 9), Segment(20, 40)]
+        assert leftmost_fit_single(idles, 4) == Segment(3, 7)
+
+    def test_none_fit(self):
+        assert leftmost_fit_single([Segment(0, 2)], 4) is None
+
+    def test_exact_fit(self):
+        assert leftmost_fit_single([Segment(5, 9)], 4) == Segment(5, 9)

@@ -1,0 +1,133 @@
+"""Unit tests for procedure TM (Section 3.2): optimality, decision replay,
+and the equation-3.1 recurrences."""
+
+import itertools
+
+import pytest
+
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+from repro.core.bas.tm import tm_optimal_bas, tm_optimal_value, tm_values
+from repro.core.bas.verify import verify_bas
+
+
+def brute_force_bas_value(forest: Forest, k: int) -> float:
+    """Exhaustive optimal k-BAS value for tiny forests (≤ ~14 nodes)."""
+    best = 0
+    nodes = list(range(forest.n))
+    for r in range(len(nodes) + 1):
+        for keep in itertools.combinations(nodes, r):
+            cand = SubForest(forest, keep)
+            if verify_bas(cand, k).valid:
+                best = max(best, cand.value)
+    return best
+
+
+class TestRecurrences:
+    def test_leaf_values(self):
+        f = Forest([-1], [7])
+        t, m = tm_values(f, 1)
+        assert t == [7] and m == [0]
+
+    def test_single_child(self):
+        f = Forest([-1, 0], [5, 3])
+        t, m = tm_values(f, 1)
+        assert t[0] == 8  # keep both
+        assert m[0] == 3  # drop root, keep child
+
+    def test_topk_selection(self):
+        # Root with three children values 1, 9, 4; k=2 keeps 9 and 4.
+        f = Forest([-1, 0, 0, 0], [2, 1, 9, 4])
+        t, m = tm_values(f, 2)
+        assert t[0] == 2 + 9 + 4
+        assert m[0] == 1 + 9 + 4
+
+    def test_m_uses_max_of_t_m(self):
+        # Child 1 is itself a star whose m beats its t under k=1.
+        #   0 -> 1 -> {2, 3, 4}  (values: 1 each, leaves 10 each)
+        f = Forest([-1, 0, 1, 1, 1], [1, 1, 10, 10, 10])
+        t, m = tm_values(f, 1)
+        assert t[1] == 11  # keep node 1 + best leaf
+        assert m[1] == 30  # drop node 1, keep all leaves
+        assert m[0] == 30
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            tm_values(Forest([-1], [1]), 0)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_matches_bruteforce_star(self, k):
+        f = Forest.star(6, values=[3, 5, 1, 4, 2, 6])
+        assert tm_optimal_value(f, k) == brute_force_bas_value(f, k)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_matches_bruteforce_two_level(self, k):
+        f = Forest([-1, 0, 0, 1, 1, 2, 2], [8, 4, 4, 1, 2, 3, 1])
+        assert tm_optimal_value(f, k) == brute_force_bas_value(f, k)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_bruteforce_irregular(self, k):
+        #          0
+        #        / | \
+        #       1  2  3
+        #       |     |\
+        #       4     5 6
+        #       |
+        #       7
+        f = Forest([-1, 0, 0, 0, 1, 3, 3, 4], [1, 9, 2, 3, 9, 4, 4, 9])
+        assert tm_optimal_value(f, k) == brute_force_bas_value(f, k)
+
+    def test_matches_bruteforce_forest(self):
+        f = Forest([-1, 0, 0, -1, 3, 3, 3], [2, 5, 5, 1, 4, 4, 4])
+        assert tm_optimal_value(f, 1) == brute_force_bas_value(f, 1)
+
+    def test_path_keeps_everything_for_k1(self):
+        f = Forest.path(10)
+        # A path has degree 1 everywhere; with k >= 1 nothing is lost.
+        assert tm_optimal_value(f, 1) == f.total_value
+
+
+class TestDecisionReplay:
+    def test_returned_set_matches_value(self):
+        f = Forest([-1, 0, 0, 1, 1, 2, 2], [8, 4, 4, 1, 2, 3, 1])
+        for k in (1, 2):
+            bas = tm_optimal_bas(f, k)
+            assert bas.value == tm_optimal_value(f, k)
+
+    def test_returned_set_is_valid_bas(self):
+        f = Forest([-1, 0, 0, 0, 1, 3, 3, 4], [1, 9, 2, 3, 9, 4, 4, 9])
+        for k in (1, 2, 3):
+            bas = tm_optimal_bas(f, k)
+            verify_bas(bas, k).assert_ok()
+
+    def test_pruned_up_root(self):
+        # Star with k=1: dropping the root and keeping all leaves wins.
+        f = Forest.star(5, values=[1, 10, 10, 10, 10])
+        bas = tm_optimal_bas(f, 1)
+        assert 0 not in bas.retained
+        assert bas.value == 40
+        verify_bas(bas, 1).assert_ok()
+
+    def test_retained_root_prunes_down_excess_children(self):
+        f = Forest.star(5, values=[100, 1, 2, 3, 4])
+        bas = tm_optimal_bas(f, 2)
+        assert 0 in bas.retained
+        assert bas.value == 100 + 4 + 3
+        verify_bas(bas, 2).assert_ok()
+
+    def test_deep_forest_iterative(self):
+        f = Forest.path(30_000)
+        bas = tm_optimal_bas(f, 1)
+        assert bas.value == f.total_value
+
+    def test_k_larger_than_max_degree_keeps_all(self):
+        f = Forest.complete(3, 3)
+        bas = tm_optimal_bas(f, 3)
+        assert bas.value == f.total_value
+
+    def test_monotone_in_k(self):
+        f = Forest.complete(4, 3)
+        vals = [tm_optimal_value(f, k) for k in (1, 2, 3, 4)]
+        assert vals == sorted(vals)

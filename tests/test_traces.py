@@ -1,0 +1,83 @@
+"""Tests for the bursty/diurnal trace generators."""
+
+import pytest
+
+from repro.core.combined import schedule_k_bounded
+from repro.instances.random_jobs import random_jobs
+from repro.instances.traces import bursty_trace, burstiness_index, diurnal_trace
+from repro.scheduling.verify import verify_schedule
+
+
+class TestBurstyTrace:
+    def test_count_and_determinism(self):
+        a = bursty_trace(40, seed=0)
+        b = bursty_trace(40, seed=0)
+        assert a.n == 40
+        assert [j.release for j in a] == [j.release for j in b]
+
+    def test_bursts_are_burstier_than_uniform(self):
+        bursty = bursty_trace(120, gap_mean=50.0, seed=1)
+        uniform = random_jobs(120, horizon=float(bursty.horizon[1]), seed=1)
+        assert burstiness_index(bursty) > burstiness_index(uniform)
+
+    def test_laxity_range_respected(self):
+        jobs = bursty_trace(50, laxity_range=(2.0, 3.0), seed=2)
+        for j in jobs:
+            assert 2.0 - 1e-9 <= j.laxity <= 3.0 + 1e-9
+
+    def test_schedulable_end_to_end(self):
+        jobs = bursty_trace(30, seed=3)
+        s = schedule_k_bounded(jobs, 2, exact_opt=False)
+        verify_schedule(s, k=2).assert_ok()
+        assert s.value > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_trace(0)
+        with pytest.raises(ValueError):
+            bursty_trace(5, burst_size_mean=0.5)
+
+
+class TestDiurnalTrace:
+    def test_count_and_ids_chronological(self):
+        jobs = diurnal_trace(60, seed=4)
+        assert jobs.n == 60
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+        assert jobs.ids == list(range(60))
+
+    def test_two_populations(self):
+        jobs = diurnal_trace(150, seed=5)
+        short = [j for j in jobs if j.length <= 4.0]
+        long = [j for j in jobs if j.length >= 7.0]
+        assert short and long
+
+    def test_peak_concentration(self):
+        # More arrivals land in the high-intensity half of the day.
+        day = 240.0
+        jobs = diurnal_trace(300, day_length=day, days=1, peak_to_trough=6.0, seed=6)
+        peak_half = sum(1 for j in jobs if (float(j.release) % day) < day / 2)
+        assert peak_half > jobs.n / 2
+
+    def test_schedulable_end_to_end(self):
+        jobs = diurnal_trace(30, seed=7)
+        s = schedule_k_bounded(jobs, 1, exact_opt=False)
+        verify_schedule(s, k=1).assert_ok()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(0)
+        with pytest.raises(ValueError):
+            diurnal_trace(5, peak_to_trough=0.5)
+
+
+class TestBurstinessIndex:
+    def test_single_job(self):
+        jobs = bursty_trace(1, seed=8)
+        assert burstiness_index(jobs) == 0.0
+
+    def test_simultaneous_releases(self):
+        from repro.scheduling.job import make_jobs
+
+        jobs = make_jobs([(5, 10, 1) for _ in range(4)])
+        assert burstiness_index(jobs) == float("inf")

@@ -1,0 +1,65 @@
+"""Tests for the ASCII forest renderer."""
+
+import pytest
+
+from repro.analysis.treeviz import render_bas_summary, render_forest
+from repro.core.bas.forest import Forest
+from repro.core.bas.subforest import SubForest
+from repro.core.bas.tm import tm_optimal_bas
+
+
+@pytest.fixture
+def tree():
+    return Forest([-1, 0, 0, 1, 1], [10, 4, 3, 2, 1])
+
+
+class TestRenderForest:
+    def test_all_nodes_appear(self, tree):
+        out = render_forest(tree)
+        for v in range(tree.n):
+            assert f"{v}(" in out
+
+    def test_structure_markers(self, tree):
+        out = render_forest(tree)
+        assert "├─" in out and "└─" in out
+
+    def test_root_unindented(self, tree):
+        assert render_forest(tree).splitlines()[0].startswith("0(")
+
+    def test_bas_markers(self, tree):
+        bas = SubForest(tree, [0, 1])
+        out = render_forest(tree, bas)
+        lines = out.splitlines()
+        assert lines[0].startswith("● 0(")
+        assert any(l.strip().endswith("○ 2(3)") or "○ 2(3)" in l for l in lines)
+
+    def test_truncation(self):
+        f = Forest.path(50)
+        out = render_forest(f, max_nodes=10)
+        assert "more nodes" in out
+
+    def test_multi_root_forest(self):
+        f = Forest([-1, -1, 0], [1, 2, 3])
+        out = render_forest(f)
+        roots = [l for l in out.splitlines() if not l.startswith((" ", "│", "├", "└"))]
+        assert len(roots) == 2
+
+    def test_custom_labels(self, tree):
+        out = render_forest(tree, node_labels=[f"job{v}" for v in range(tree.n)])
+        assert "job3" in out
+
+    def test_empty(self):
+        assert "empty" in render_forest(Forest([], []))
+
+    def test_float_values_formatted(self):
+        f = Forest([-1], [1.23456])
+        assert "1.23" in render_forest(f)
+
+
+class TestSummary:
+    def test_summary_fields(self, tree):
+        bas = tm_optimal_bas(tree, 1)
+        out = render_bas_summary(bas, 1)
+        assert "k=1" in out
+        assert "retained" in out
+        assert "loss" in out

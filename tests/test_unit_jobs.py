@@ -1,0 +1,82 @@
+"""Unit tests for the exact unit-length assignment solver."""
+
+import itertools
+
+import pytest
+
+from repro.scheduling.exact import opt_infty_value
+from repro.scheduling.job import make_jobs
+from repro.scheduling.unit_jobs import unit_jobs_optimal, unit_jobs_optimal_value
+from repro.scheduling.verify import verify_schedule
+
+
+class TestBasics:
+    def test_all_fit(self):
+        jobs = make_jobs([(0, 3, 1), (0, 3, 1), (0, 3, 1)])
+        s = unit_jobs_optimal(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert len(s) == 3
+
+    def test_overloaded_slot_picks_by_value(self):
+        jobs = make_jobs([(0, 1, 1, 5.0), (0, 1, 1, 9.0)])
+        s = unit_jobs_optimal(jobs)
+        assert s.scheduled_ids == [1]
+        assert s.value == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert unit_jobs_optimal_value(make_jobs([])) == 0
+
+    def test_rejects_non_unit_length(self):
+        with pytest.raises(ValueError, match="unit-length"):
+            unit_jobs_optimal(make_jobs([(0, 4, 2)]))
+
+    def test_rejects_fractional_windows(self):
+        with pytest.raises(ValueError, match="integral"):
+            unit_jobs_optimal(make_jobs([(0.5, 2.5, 1)]))
+
+    def test_staggered_windows(self):
+        # Three jobs, two slots each, overlapping chain: all three fit.
+        jobs = make_jobs([(0, 2, 1), (1, 3, 1), (2, 4, 1)])
+        s = unit_jobs_optimal(jobs)
+        assert len(s) == 3
+
+
+class TestExactness:
+    def brute_force(self, jobs):
+        """Exhaustive best value over subsets + slot permutations."""
+        slots = sorted({t for j in jobs for t in range(int(j.release), int(j.deadline))})
+        best = 0.0
+        ids = jobs.ids
+        for r in range(1, len(ids) + 1):
+            for combo in itertools.combinations(ids, r):
+                for perm in itertools.permutations(slots, r):
+                    if all(
+                        jobs[j].release <= t and t + 1 <= jobs[j].deadline
+                        for j, t in zip(combo, perm)
+                    ):
+                        best = max(best, sum(jobs[j].value for j in combo))
+                        break
+        return best
+
+    @pytest.mark.parametrize("spec", [
+        [(0, 2, 1, 4.0), (0, 2, 1, 3.0), (1, 3, 1, 5.0)],
+        [(0, 1, 1, 2.0), (0, 1, 1, 3.0), (0, 2, 1, 1.0), (1, 2, 1, 9.0)],
+        [(0, 3, 1, 1.0), (1, 2, 1, 8.0), (1, 2, 1, 7.0)],
+    ])
+    def test_matches_bruteforce(self, spec):
+        jobs = make_jobs(spec)
+        assert unit_jobs_optimal_value(jobs) == pytest.approx(self.brute_force(jobs))
+
+    def test_matches_preemptive_opt(self):
+        # Unit jobs never benefit from preemption: the assignment optimum
+        # equals the preemptive B&B optimum.
+        jobs = make_jobs(
+            [(0, 2, 1, 4.0), (0, 2, 1, 3.0), (1, 3, 1, 5.0), (2, 5, 1, 2.0)]
+        )
+        assert unit_jobs_optimal_value(jobs) == pytest.approx(opt_infty_value(jobs))
+
+    def test_verifies_nonpreemptive(self):
+        jobs = make_jobs([(0, 4, 1, 1.0) for _ in range(6)])
+        s = unit_jobs_optimal(jobs)
+        verify_schedule(s, k=0).assert_ok()
+        assert len(s) == 4  # four slots available

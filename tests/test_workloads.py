@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.combined import schedule_k_bounded
+from repro.core.nonpreemptive import nonpreemptive_combined
+from repro.instances.workloads import (
+    batch_analytics_workload,
+    mixed_server_workload,
+    realtime_control_workload,
+)
+from repro.scheduling.verify import verify_schedule
+
+
+class TestRealtimeControl:
+    def test_strict_regime(self):
+        jobs = realtime_control_workload(40, seed=0)
+        assert jobs.n == 40
+        # Default laxity range [1, 2]: strict even for k = 1.
+        assert all(j.laxity <= 2 + 1e-9 for j in jobs)
+
+    def test_deterministic(self):
+        a = realtime_control_workload(20, seed=5)
+        b = realtime_control_workload(20, seed=5)
+        assert [j.release for j in a] == [j.release for j in b]
+
+    def test_releases_quasi_periodic(self):
+        jobs = realtime_control_workload(30, period=10.0, seed=1)
+        assert min(j.release for j in jobs) >= 0
+
+    def test_schedulable_by_pipeline(self):
+        jobs = realtime_control_workload(20, seed=2)
+        s = schedule_k_bounded(jobs, 1, exact_opt=False)
+        verify_schedule(s, k=1).assert_ok()
+        assert s.value > 0
+
+
+class TestBatchAnalytics:
+    def test_lax_regime(self):
+        jobs = batch_analytics_workload(50, seed=0)
+        assert all(j.laxity >= 4 - 1e-9 for j in jobs)
+
+    def test_heavy_tail_spread(self):
+        jobs = batch_analytics_workload(200, seed=1)
+        assert jobs.length_ratio > 8  # the tail stretches P
+
+    def test_lengths_clipped(self):
+        jobs = batch_analytics_workload(100, max_length=64.0, seed=2)
+        assert jobs.p_max <= 64.0 + 1e-9
+
+    def test_value_correlates_with_length(self):
+        jobs = batch_analytics_workload(200, seed=3)
+        big = [j for j in jobs if j.length > 32]
+        small = [j for j in jobs if j.length < 4]
+        if big and small:
+            mean = lambda js: sum(j.value for j in js) / len(js)
+            assert mean(big) > mean(small)
+
+    def test_schedulable_by_lsa_cs(self):
+        jobs = batch_analytics_workload(40, seed=4)
+        s = schedule_k_bounded(jobs, 2, exact_opt=False)
+        verify_schedule(s, k=2).assert_ok()
+
+
+class TestMixedServer:
+    def test_two_populations(self):
+        jobs = mixed_server_workload(100, seed=0)
+        short = [j for j in jobs if j.length <= 2.0]
+        long = [j for j in jobs if j.length >= 8.0]
+        assert short and long
+
+    def test_interactive_fraction_extremes(self):
+        all_int = mixed_server_workload(30, interactive_fraction=1.0, seed=1)
+        assert all(j.length <= 2.0 + 1e-9 for j in all_int)
+        none_int = mixed_server_workload(30, interactive_fraction=0.0, seed=1)
+        assert all(j.length >= 8.0 - 1e-9 for j in none_int)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            mixed_server_workload(10, interactive_fraction=1.5)
+
+    def test_both_branches_productive(self):
+        # The mix has strict and lax jobs for moderate k.
+        jobs = mixed_server_workload(80, seed=2)
+        strict, lax = jobs.split_by_laxity(2)
+        assert strict.n > 0 and lax.n > 0
+
+    def test_k0_pipeline(self):
+        jobs = mixed_server_workload(30, seed=3)
+        s = nonpreemptive_combined(jobs)
+        verify_schedule(s, k=0).assert_ok()
