@@ -1,0 +1,62 @@
+"""Performance-layer benchmarks: the vectorized TM kernel, the parallel
+sweep engine and the feasibility cache, with the speedup acceptance gates.
+
+The machine-readable trajectory (``BENCH_perf.json``) is produced by
+``python -m repro bench``; this file re-times the same kernels under
+pytest-benchmark and asserts the headline claims:
+
+* ``tm_values_vectorized`` ≥ 5× the reference loop at n = 10^5;
+* parallel and serial sweeps agree bit-for-bit (speed is workload- and
+  machine-dependent, so only equality is asserted here — the JSON records
+  the observed speedup).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import bench_tm_kernels, run_bench
+from repro.analysis.sweep import Sweep, run_sweep
+from repro.core.bas.tm import tm_values, tm_values_vectorized
+from repro.instances.random_trees import random_forest
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def test_bench_tm_vectorized(benchmark, n):
+    forest = random_forest(n, seed=2018)
+    forest.children_index  # warm the CSR layout; the DP is what's timed
+    t, m = benchmark(tm_values_vectorized, forest, 2)
+    assert len(t) == n and len(m) == n
+
+
+def test_vectorized_speedup_at_1e5():
+    records = bench_tm_kernels(sizes=(100_000,), k_values=(2,), reps=3)
+    fast = [r for r in records if r.op == "tm_values_vectorized"]
+    assert fast and fast[0].speedup_vs_reference >= 5.0, (
+        f"vectorized TM below the 5x gate: {fast}"
+    )
+
+
+def test_bench_sweep_parallel_identical(benchmark):
+    from repro.analysis.config import CELL_REGISTRY
+
+    cell = CELL_REGISTRY["bas_loss_random"]
+    sweep = Sweep(axes={"n": [200], "k": [1, 2], "shape": ["attachment"]}, repeats=2)
+    serial = run_sweep(sweep, cell, seed=7, workers=1)
+    parallel = benchmark.pedantic(
+        run_sweep, args=(sweep, cell), kwargs=dict(seed=7, workers=2),
+        rounds=1, iterations=1,
+    )
+    assert serial == parallel
+
+
+def test_bench_perf_json(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(quick=True, out=str(out))
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == "repro-bench-perf/1"
+    ops = {r["op"] for r in on_disk["records"]}
+    assert "tm_values_vectorized" in ops and any(o.startswith("run_sweep") for o in ops)
+    for rec in on_disk["records"]:
+        assert rec["median_ms"] >= 0 and rec["p90_ms"] >= rec["median_ms"] * 0.999

@@ -19,7 +19,7 @@ harness, so adding axes or repeats never perturbs existing cells.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.sweep import Sweep, SweepResult, run_sweep
 from repro.analysis.tables import Table
@@ -113,15 +113,28 @@ def load_config(path_or_dict) -> Dict[str, Any]:
         raise ValueError("'axes' must map parameter names to value lists")
     config.setdefault("repeats", 1)
     config.setdefault("seed", 0)
+    config.setdefault("workers", 1)
+    config.setdefault("executor", None)
     return config
 
 
-def run_config(path_or_dict) -> Table:
-    """Execute a sweep config and render its results as a table."""
+def run_config(path_or_dict, *, workers: Optional[int] = None, executor: Optional[str] = None) -> Table:
+    """Execute a sweep config and render its results as a table.
+
+    ``workers``/``executor`` override the config's own keys (the CLI's
+    ``--workers`` flag lands here).  Results are bit-identical across
+    worker counts — see :func:`repro.analysis.sweep.run_sweep`.
+    """
     config = load_config(path_or_dict)
     cell = CELL_REGISTRY[config["cell"]]
     sweep = Sweep(axes=config["axes"], repeats=int(config["repeats"]))
-    results: List[SweepResult] = run_sweep(sweep, cell, seed=int(config["seed"]))
+    if workers is None:
+        workers = int(config["workers"])
+    if executor is None:
+        executor = config["executor"]
+    results: List[SweepResult] = run_sweep(
+        sweep, cell, seed=int(config["seed"]), workers=workers, executor=executor
+    )
 
     axis_names = list(config["axes"])
     metric_names = sorted(

@@ -1132,6 +1132,29 @@ def run_experiment(name: str) -> Table:
     return EXPERIMENTS[name]()
 
 
-def run_all() -> List[Table]:
+def run_experiments(names: Sequence[str], *, workers: int = 1) -> List[Table]:
+    """Run several experiments, optionally across worker processes.
+
+    Experiments are independent (each derives its RNG streams from its own
+    hard-coded seed), so with ``workers > 1`` they are dispatched to a
+    process pool; tables come back in the requested order and are identical
+    to a serial run.  This is the same ``workers`` knob the sweep engine
+    exposes (:func:`repro.analysis.sweep.run_sweep`), threaded through the
+    CLI's ``all``/``report`` paths.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; choose from {sorted(EXPERIMENTS)}")
+    if workers > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+            return list(pool.map(run_experiment, names))
+    return [run_experiment(name) for name in names]
+
+
+def run_all(*, workers: int = 1) -> List[Table]:
     """Run the full suite in order (used by the CLI and EXPERIMENTS.md)."""
-    return [EXPERIMENTS[name]() for name in sorted(EXPERIMENTS)]
+    return run_experiments(sorted(EXPERIMENTS), workers=workers)

@@ -1,0 +1,243 @@
+"""Performance benchmark harness: ``repro bench`` → ``BENCH_perf.json``.
+
+Times the repo's hot kernels at several sizes and records a machine-readable
+trajectory so future performance work has a baseline to beat:
+
+* the TM dynamic program — reference loop vs the vectorized CSR kernel
+  (:func:`repro.core.bas.tm.tm_values_vectorized`);
+* the sweep engine — serial vs process-parallel execution of one grid
+  (:func:`repro.analysis.sweep.run_sweep`);
+* the exact ``OPT_∞`` branch-and-bound — cold vs warm
+  :func:`repro.scheduling.edf.edf_feasible_cached` cache;
+* forest traversals — first (computing) vs cached ``postorder()``.
+
+Each record carries the op name, problem size, repeat count, median and p90
+wall-time in milliseconds, and — for fast paths — the speedup against the
+reference implementation measured in the same process.  The JSON is written
+by :func:`run_bench` (CLI: ``python -m repro bench [--quick]``) and asserted
+on by ``benchmarks/bench_perf.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.sweep import Sweep, run_sweep
+
+
+@dataclass
+class BenchRecord:
+    """One timed operation at one size."""
+
+    op: str
+    n: int
+    k: Optional[int]
+    reps: int
+    median_ms: float
+    p90_ms: float
+    speedup_vs_reference: Optional[float] = None
+
+
+def _times_ms(fn: Callable[[], object], reps: int) -> List[float]:
+    out: List[float] = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        out.append((time.perf_counter() - t0) * 1e3)
+    return out
+
+
+def _median(xs: Sequence[float]) -> float:
+    return float(statistics.median(xs))
+
+
+def _p90(xs: Sequence[float]) -> float:
+    ordered = sorted(xs)
+    idx = max(0, math.ceil(0.9 * len(ordered)) - 1)
+    return float(ordered[idx])
+
+
+def _record(op: str, n: int, k: Optional[int], times: Sequence[float],
+            speedup: Optional[float] = None) -> BenchRecord:
+    return BenchRecord(
+        op=op, n=n, k=k, reps=len(times),
+        median_ms=round(_median(times), 4), p90_ms=round(_p90(times), 4),
+        speedup_vs_reference=None if speedup is None else round(speedup, 2),
+    )
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_tm_kernels(
+    sizes: Sequence[int] = (10_000, 100_000),
+    k_values: Sequence[int] = (2, 4),
+    reps: int = 5,
+    seed: int = 2018,
+) -> List[BenchRecord]:
+    """Reference TM loop vs the vectorized kernel on random forests."""
+    from repro.core.bas.tm import tm_values, tm_values_vectorized
+    from repro.instances.random_trees import random_forest
+
+    records: List[BenchRecord] = []
+    for n in sizes:
+        forest = random_forest(n, seed=seed)
+        # Warm the traversal/CSR caches so both engines time the DP alone.
+        forest.postorder()
+        forest.children_index
+        for k in k_values:
+            ref = _times_ms(lambda: tm_values(forest, k), reps)
+            vec = _times_ms(lambda: tm_values_vectorized(forest, k), reps)
+            records.append(_record("tm_values[loop]", n, k, ref))
+            records.append(
+                _record("tm_values_vectorized", n, k, vec,
+                        speedup=_median(ref) / _median(vec))
+            )
+    return records
+
+
+def bench_sweep_engine(
+    workers_values: Sequence[int] = (1, 4),
+    n: int = 400,
+    repeats: int = 4,
+    reps: int = 3,
+    seed: int = 0,
+) -> List[BenchRecord]:
+    """Serial vs process-parallel execution of one sweep grid.
+
+    Uses the registered ``bas_loss_random`` cell (module-level, hence
+    picklable) over a k × shape grid; the recorded ``n`` is the number of
+    cell executions (cells × repeats).  The parallel speedup is bounded by
+    the host's CPU count — on a single-core machine the record shows pure
+    pool overhead (< 1x); the equivalence tests, not this number, gate the
+    engine's correctness.
+    """
+    from repro.analysis.config import CELL_REGISTRY
+
+    cell = CELL_REGISTRY["bas_loss_random"]
+    sweep = Sweep(
+        axes={"n": [n], "k": [1, 2, 4], "shape": ["attachment", "preferential"]},
+        repeats=repeats,
+    )
+    cell_runs = len(sweep.cells()) * sweep.repeats
+    records: List[BenchRecord] = []
+    serial_median: Optional[float] = None
+    for workers in workers_values:
+        times = _times_ms(
+            lambda: run_sweep(sweep, cell, seed=seed, workers=workers), reps
+        )
+        speedup = None
+        if workers == 1:
+            serial_median = _median(times)
+        elif serial_median is not None:
+            speedup = serial_median / _median(times)
+        records.append(_record(f"run_sweep[workers={workers}]", cell_runs, None, times, speedup))
+    return records
+
+
+def bench_edf_cache(n: int = 16, reps: int = 3, seed: int = 3) -> List[BenchRecord]:
+    """Exact OPT_∞ branch-and-bound with a cold vs warm feasibility cache."""
+    from repro.instances.random_jobs import random_jobs
+    from repro.scheduling.edf import edf_feasible_cached
+    from repro.scheduling.exact import opt_infty_exact
+
+    # A deliberately overloaded instance so the branch-and-bound actually
+    # branches (a feasible set short-circuits to plain EDF).
+    jobs = random_jobs(
+        n, horizon=1.5 * n ** 0.5, length_range=(1.0, 5.0),
+        laxity_range=(1.0, 3.0), seed=seed,
+    )
+
+    def cold() -> None:
+        edf_feasible_cached.cache_clear()
+        opt_infty_exact(jobs)
+
+    cold_times = _times_ms(cold, reps)
+    edf_feasible_cached.cache_clear()
+    opt_infty_exact(jobs)  # populate the cache once
+    warm_times = _times_ms(lambda: opt_infty_exact(jobs), reps)
+    return [
+        _record("opt_infty_exact[cold cache]", n, None, cold_times),
+        _record("opt_infty_exact[warm cache]", n, None, warm_times,
+                speedup=_median(cold_times) / _median(warm_times)),
+    ]
+
+
+def bench_forest_traversals(n: int = 100_000, reps: int = 5, seed: int = 1) -> List[BenchRecord]:
+    """First (computing) vs cached ``Forest.postorder()``."""
+    from repro.instances.random_trees import random_forest
+
+    forests = [random_forest(n, seed=seed) for _ in range(reps)]
+    cold_times = [
+        _times_ms(forest.postorder, 1)[0] for forest in forests
+    ]
+    cached = forests[0]
+    warm_times = _times_ms(cached.postorder, reps)
+    return [
+        _record("forest.postorder[first]", n, None, cold_times),
+        _record("forest.postorder[cached]", n, None, warm_times,
+                speedup=_median(cold_times) / _median(warm_times)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") -> dict:
+    """Run the suite, optionally write ``out``, return the payload dict.
+
+    ``quick=True`` shrinks sizes/repeats for CI smoke runs (seconds, not
+    minutes); the full run includes the n = 10^5 TM point the acceptance
+    trajectory tracks.
+    """
+    if quick:
+        records = (
+            bench_tm_kernels(sizes=(2_000,), k_values=(2,), reps=2)
+            + bench_sweep_engine(workers_values=(1, 2), n=120, repeats=2, reps=1)
+            + bench_edf_cache(n=12, reps=2)
+            + bench_forest_traversals(n=20_000, reps=2)
+        )
+    else:
+        records = (
+            bench_tm_kernels()
+            + bench_sweep_engine()
+            + bench_edf_cache()
+            + bench_forest_traversals()
+        )
+    payload = {
+        "schema": "repro-bench-perf/1",
+        "quick": quick,
+        "records": [asdict(r) for r in records],
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return payload
+
+
+def render_bench(payload: dict) -> str:
+    """Human-readable rendering of a :func:`run_bench` payload."""
+    from repro.analysis.tables import Table
+
+    table = Table(
+        title="performance benchmarks" + (" (quick)" if payload.get("quick") else ""),
+        columns=["op", "n", "k", "reps", "median ms", "p90 ms", "speedup vs ref"],
+    )
+    for rec in payload["records"]:
+        table.add_row(
+            rec["op"], rec["n"], rec["k"] if rec["k"] is not None else "-",
+            rec["reps"], rec["median_ms"], rec["p90_ms"],
+            rec["speedup_vs_reference"] if rec["speedup_vs_reference"] is not None else float("nan"),
+        )
+    table.add_note("speedup is median(reference)/median(fast path), same process")
+    return table.render()

@@ -5,13 +5,21 @@ runner derives an independent RNG stream per cell (so adding cells never
 perturbs existing ones), executes every cell, and aggregates repeated
 seeds.  All experiment tables that report means over random instances are
 produced through this harness.
+
+Execution is serial by default and parallel on request: ``workers=N``
+dispatches whole cells (one parameter assignment with all its repeats) to a
+:class:`concurrent.futures.ProcessPoolExecutor` in chunks.  The RNG
+contract is preserved exactly — every cell receives the same spawned
+streams it would serially, and aggregation happens in the parent process in
+cell order — so parallel results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,11 +47,30 @@ class Sweep:
         return [dict(zip(names, combo)) for combo in combos]
 
 
+def _run_cell(task: Tuple[Callable[..., Mapping[str, float]], Dict[str, Any], list]) -> List[Mapping[str, float]]:
+    """Execute one cell's repeats (module-level so process pools can pickle it)."""
+    cell_fn, params, rngs = task
+    return [cell_fn(rng=rng, **params) for rng in rngs]
+
+
+def _aggregate(params: Dict[str, Any], runs: List[Mapping[str, float]]) -> SweepResult:
+    keys = sorted({k for run in runs for k in run})
+    metrics: Dict[str, float] = {}
+    for key in keys:
+        vals = [float(run[key]) for run in runs if key in run]
+        metrics[key] = float(np.mean(vals))
+        metrics[f"{key}_max"] = float(np.max(vals))
+    return SweepResult(params=dict(params), metrics=metrics)
+
+
 def run_sweep(
     sweep: Sweep,
     cell_fn: Callable[..., Mapping[str, float]],
     *,
     seed: int = 0,
+    workers: int = 1,
+    executor: Optional[str] = None,
+    chunksize: Optional[int] = None,
 ) -> List[SweepResult]:
     """Execute every cell ``repeats`` times and average the metrics.
 
@@ -51,21 +78,38 @@ def run_sweep(
     float.  Metrics are averaged across repeats; a ``*_max`` variant of
     every metric records the worst repeat, since price statements are
     worst-case claims.
+
+    ``workers``/``executor`` select the execution engine:
+
+    * ``executor="serial"`` (or ``workers=1``) — run cells in-process;
+    * ``executor="process"`` — dispatch cells to ``workers`` OS processes
+      in chunks of ``chunksize`` (default: cells split ~4 ways per worker).
+      ``cell_fn`` must then be picklable (a module-level function — every
+      registered config cell qualifies).
+
+    With ``executor=None`` the engine is inferred: ``"process"`` when
+    ``workers > 1``, ``"serial"`` otherwise.  Either engine spawns the same
+    per-cell RNG streams from ``seed`` and aggregates in cell order, so the
+    results are bit-identical regardless of worker count.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor is None:
+        executor = "process" if workers > 1 else "serial"
+    if executor not in ("serial", "process"):
+        raise ValueError(f"executor must be 'serial' or 'process', got {executor!r}")
+
     cells = sweep.cells()
     rngs = spawn_rngs(seed, len(cells) * sweep.repeats)
-    results: List[SweepResult] = []
-    idx = 0
-    for params in cells:
-        runs: List[Mapping[str, float]] = []
-        for _ in range(sweep.repeats):
-            runs.append(cell_fn(rng=rngs[idx], **params))
-            idx += 1
-        keys = sorted({k for run in runs for k in run})
-        metrics: Dict[str, float] = {}
-        for key in keys:
-            vals = [float(run[key]) for run in runs if key in run]
-            metrics[key] = float(np.mean(vals))
-            metrics[f"{key}_max"] = float(np.max(vals))
-        results.append(SweepResult(params=dict(params), metrics=metrics))
-    return results
+    tasks = [
+        (cell_fn, params, list(rngs[i * sweep.repeats : (i + 1) * sweep.repeats]))
+        for i, params in enumerate(cells)
+    ]
+    if executor == "process" and workers > 1 and len(tasks) > 1:
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            all_runs = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+    else:
+        all_runs = [_run_cell(task) for task in tasks]
+    return [_aggregate(params, runs) for params, runs in zip(cells, all_runs)]

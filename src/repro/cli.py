@@ -4,7 +4,8 @@ Subcommands::
 
     repro-bench list                 # show the experiment registry
     repro-bench run e1 [--markdown]  # run one experiment, print its table
-    repro-bench all [--markdown]     # run the whole suite in order
+    repro-bench all [--markdown] [--workers N]  # the whole suite, optionally parallel
+    repro-bench bench [--quick]      # time the hot kernels, write BENCH_perf.json
     repro-bench demo                 # 20-line end-to-end tour
 
 Every experiment re-asserts its paper bound while running, so a clean exit
@@ -48,9 +49,10 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(names: List[str], markdown: bool) -> int:
-    for name in names:
-        table = run_experiment(name)
+def _cmd_run(names: List[str], markdown: bool, workers: int = 1) -> int:
+    from repro.analysis.experiments import run_experiments
+
+    for table in run_experiments(names, workers=workers):
         print(table.render_markdown() if markdown else table.render())
         print()
     return 0
@@ -99,10 +101,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--markdown", action="store_true", help="emit markdown tables")
     all_p = sub.add_parser("all", help="run the full suite")
     all_p.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    all_p.add_argument(
+        "--workers", type=int, default=1,
+        help="run experiments across N worker processes (default: serial)",
+    )
     sub.add_parser("demo", help="run the 20-line end-to-end demo")
     sweep_p = sub.add_parser("sweep", help="run a JSON-configured parameter sweep")
     sweep_p.add_argument("config", help="path to a sweep config (see repro.analysis.config)")
     sweep_p.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    sweep_p.add_argument(
+        "--workers", type=int, default=None,
+        help="override the config's worker count (results are bit-identical)",
+    )
+    bench_p = sub.add_parser(
+        "bench", help="time the hot kernels and write a machine-readable trajectory"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true", help="small sizes/repeats for CI smoke runs"
+    )
+    bench_p.add_argument(
+        "--out", default="BENCH_perf.json",
+        help="output JSON path (default: BENCH_perf.json; '-' to skip writing)",
+    )
     sub.add_parser("cells", help="list registered sweep cells")
     report_p = sub.add_parser("report", help="run everything and write REPORT.md")
     report_p.add_argument("--out", default="REPORT.md", help="output path")
@@ -113,14 +133,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.names, args.markdown)
     if args.command == "all":
-        return _cmd_run(sorted(EXPERIMENTS), args.markdown)
+        return _cmd_run(sorted(EXPERIMENTS), args.markdown, workers=args.workers)
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "sweep":
         from repro.analysis.config import run_config
 
-        table = run_config(args.config)
+        table = run_config(args.config, workers=args.workers)
         print(table.render_markdown() if args.markdown else table.render())
+        return 0
+    if args.command == "bench":
+        from repro.analysis.perf import render_bench, run_bench
+
+        payload = run_bench(quick=args.quick, out=None if args.out == "-" else args.out)
+        print(render_bench(payload))
+        if args.out != "-":
+            print(f"wrote {args.out}")
         return 0
     if args.command == "cells":
         from repro.analysis.config import CELL_REGISTRY

@@ -6,12 +6,25 @@ array, with iterative traversals (the Appendix-A instances reach depths and
 sizes where recursion would blow the interpreter stack).
 
 Node ids are dense integers ``0..n-1``.  Roots have parent ``-1``.
+
+On top of the per-node views the forest lazily materialises a CSR-style
+numpy layout — :attr:`Forest.topo_array`, :attr:`Forest.children_index`,
+:attr:`Forest.children_start` and :attr:`Forest.level_ptr` — that the
+vectorized TM kernel (:func:`repro.core.bas.tm.tm_values_vectorized`)
+consumes to process whole depth levels at once.  Because the topological
+order is a BFS, nodes of equal depth are contiguous in ``topo_array`` and
+the concatenated children of one level are exactly the next level, already
+grouped by parent; that contiguity is what makes ``np.add.reduceat`` apply.
+All traversal orders are computed once and cached (the DP, the verifier and
+the contraction all re-walk the same forest).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 class Forest:
@@ -41,6 +54,12 @@ class Forest:
                 raise ValueError(f"node {v} has invalid parent {p}")
         self._children: Tuple[Tuple[int, ...], ...] = tuple(tuple(c) for c in children)
         self._roots: Tuple[int, ...] = tuple(roots)
+        # Lazily-built caches (traversal orders and the CSR numpy layout).
+        self._topo_cache: Optional[Tuple[int, ...]] = None
+        self._depth_cache: Optional[Tuple[int, ...]] = None
+        self._levels_cache: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._values_array_cache: Optional[np.ndarray] = None
         self._check_acyclic()
 
     def _check_acyclic(self) -> None:
@@ -107,28 +126,113 @@ class Forest:
 
     # -- traversals ---------------------------------------------------------------
 
+    def _topo(self) -> Tuple[int, ...]:
+        """Cached BFS order (parents before children, levels contiguous)."""
+        if self._topo_cache is None:
+            order: List[int] = []
+            queue = deque(self._roots)
+            while queue:
+                v = queue.popleft()
+                order.append(v)
+                queue.extend(self._children[v])
+            self._topo_cache = tuple(order)
+        return self._topo_cache
+
     def topological_order(self) -> List[int]:
         """Parents before children (iterative BFS from the roots)."""
-        order: List[int] = []
-        queue = deque(self._roots)
-        while queue:
-            v = queue.popleft()
-            order.append(v)
-            queue.extend(self._children[v])
-        return order
+        return list(self._topo())
 
     def postorder(self) -> List[int]:
         """Children before parents — the bottom-up order of TM and MaxContract."""
-        return list(reversed(self.topological_order()))
+        return list(reversed(self._topo()))
+
+    def _depths(self) -> Tuple[int, ...]:
+        if self._depth_cache is None:
+            depth = [0] * self.n
+            for v in self._topo():
+                p = self._parent[v]
+                if p != -1:
+                    depth[v] = depth[p] + 1
+            self._depth_cache = tuple(depth)
+        return self._depth_cache
 
     def depths(self) -> List[int]:
         """Depth of every node (roots at 0)."""
-        depth = [0] * self.n
-        for v in self.topological_order():
-            p = self._parent[v]
-            if p != -1:
-                depth[v] = depth[p] + 1
-        return depth
+        return list(self._depths())
+
+    def levels(self) -> Tuple[Tuple[int, ...], ...]:
+        """Nodes grouped by depth, shallowest first (cached).
+
+        ``levels()[d]`` lists the depth-``d`` nodes in BFS order, so the
+        concatenation over all levels is exactly :meth:`topological_order`.
+        """
+        if self._levels_cache is None:
+            depths = self._depths()
+            max_d = max(depths, default=-1)
+            buckets: List[List[int]] = [[] for _ in range(max_d + 1)]
+            for v in self._topo():
+                buckets[depths[v]].append(v)
+            self._levels_cache = tuple(tuple(b) for b in buckets)
+        return self._levels_cache
+
+    # -- CSR numpy layout (consumed by the vectorized kernels) -------------------
+
+    def _csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._csr_cache is None:
+            topo = np.fromiter(self._topo(), dtype=np.intp, count=self.n)
+            degrees = np.fromiter(
+                (len(self._children[v]) for v in self._topo()),
+                dtype=np.intp,
+                count=self.n,
+            )
+            start = np.zeros(self.n + 1, dtype=np.intp)
+            np.cumsum(degrees, out=start[1:])
+            depths = np.fromiter(self._depths(), dtype=np.intp, count=self.n)
+            depth_topo = depths[topo] if self.n else depths
+            max_d = int(depth_topo[-1]) if self.n else -1
+            level_ptr = np.searchsorted(depth_topo, np.arange(max_d + 2))
+            self._csr_cache = (topo, start, level_ptr, depths)
+        return self._csr_cache
+
+    @property
+    def topo_array(self) -> np.ndarray:
+        """Node ids in BFS order as a numpy array (levels are contiguous)."""
+        return self._csr()[0]
+
+    @property
+    def children_index(self) -> np.ndarray:
+        """Concatenated children ids, grouped by parent in BFS order.
+
+        Because BFS appends each popped node's children in turn, this array
+        is simply ``topo_array`` with the roots stripped; it is the CSR
+        column-index array addressed by :attr:`children_start`.
+        """
+        return self._csr()[0][len(self._roots):]
+
+    @property
+    def children_start(self) -> np.ndarray:
+        """CSR offsets: children of ``topo_array[i]`` occupy
+        ``children_index[children_start[i]:children_start[i + 1]]``."""
+        return self._csr()[1]
+
+    @property
+    def level_ptr(self) -> np.ndarray:
+        """Level boundaries in ``topo_array``: depth-``d`` nodes occupy
+        ``topo_array[level_ptr[d]:level_ptr[d + 1]]``."""
+        return self._csr()[2]
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """Node values as a numpy array indexed by node id.
+
+        dtype follows the value types: float64 / int64 for numeric values,
+        ``object`` for exact types (:class:`fractions.Fraction`), which the
+        vectorized kernels handle without losing exactness.
+        """
+        if self._values_array_cache is None:
+            arr = np.asarray(self._value)
+            self._values_array_cache = arr
+        return self._values_array_cache
 
     def subtree_nodes(self, v: int) -> List[int]:
         """All nodes of ``T(v)``, the sub-tree rooted at ``v``."""

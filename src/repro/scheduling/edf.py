@@ -24,6 +24,7 @@ verified tightly.
 from __future__ import annotations
 
 import heapq
+from functools import lru_cache
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.scheduling.job import Job, JobSet
@@ -106,6 +107,37 @@ def edf_schedule(jobs: JobSet, *, stop_on_miss: bool = True) -> EdfResult:
 def edf_feasible(jobs: JobSet) -> bool:
     """Exact single-machine ∞-preemptive feasibility test (classical EDF)."""
     return edf_schedule(jobs, stop_on_miss=True).feasible
+
+
+def _feasibility_key(jobs: JobSet) -> Tuple[Tuple[object, object, object], ...]:
+    """A frozen-jobset key for feasibility: the sorted ``(r, d, p)`` triples.
+
+    Ids and values cannot affect feasibility, so quotienting them out lets
+    differently-labelled copies of the same geometry share a cache entry.
+    """
+    return tuple(sorted((j.release, j.deadline, j.length) for j in jobs))
+
+
+@lru_cache(maxsize=1 << 16)
+def _feasible_by_key(key: Tuple[Tuple[object, object, object], ...]) -> bool:
+    jobs = JobSet(Job(i, r, d, p) for i, (r, d, p) in enumerate(key))
+    return edf_schedule(jobs, stop_on_miss=True).feasible
+
+
+def edf_feasible_cached(jobs: JobSet) -> bool:
+    """Memoized :func:`edf_feasible` keyed on the frozen jobset geometry.
+
+    The exact ``OPT_∞`` branch-and-bound re-tests thousands of subsets, and
+    experiment sweeps re-test recurring geometries across repeats; an LRU
+    over the value-free key collapses those into one EDF simulation each.
+    ``edf_feasible_cached.cache_info()`` / ``.cache_clear()`` expose the
+    underlying :func:`functools.lru_cache` controls.
+    """
+    return _feasible_by_key(_feasibility_key(jobs))
+
+
+edf_feasible_cached.cache_info = _feasible_by_key.cache_info  # type: ignore[attr-defined]
+edf_feasible_cached.cache_clear = _feasible_by_key.cache_clear  # type: ignore[attr-defined]
 
 
 def edf_accept_max_subset(jobs: JobSet, *, order: str = "density") -> Schedule:

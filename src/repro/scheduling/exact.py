@@ -24,7 +24,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.scheduling.edf import edf_feasible, edf_schedule
+from repro.scheduling.edf import edf_feasible, edf_feasible_cached, edf_schedule
 from repro.scheduling.job import Job, JobSet
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.segment import Segment, drop_zero_length, merge_touching
@@ -74,9 +74,12 @@ def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
                 best_subset = list(chosen)
             return
         job = order[i]
-        # Branch 1: include (only if still feasible).
+        # Branch 1: include (only if still feasible).  The feasibility
+        # oracle is memoized on the frozen jobset geometry: repeated calls
+        # across experiment repeats (and recurring sub-geometries) collapse
+        # into one EDF simulation each.
         chosen.append(job)
-        if edf_feasible(JobSet(chosen)):
+        if edf_feasible_cached(JobSet(chosen)):
             recurse(i + 1, chosen, value + job.value)
         chosen.pop()
         # Branch 2: exclude.

@@ -131,3 +131,38 @@ class TestDecisionReplay:
         f = Forest.complete(4, 3)
         vals = [tm_optimal_value(f, k) for k in (1, 2, 3, 4)]
         assert vals == sorted(vals)
+
+
+class TestTieBreaking:
+    """The documented tie policy: ``tm_values`` selects top-k children by
+    value only (the sum — hence ``t`` — is invariant under boundary ties),
+    while the materialisation resolves boundary ties to smaller node ids."""
+
+    def test_tied_children_aggregates_are_tie_invariant(self):
+        # Root with four children of identical t-value; k=2: whichever two
+        # tied children are counted, t(root) is the same.
+        f = Forest.star(5, values=[2, 3, 3, 3, 3])
+        t, m = tm_values(f, 2)
+        assert t[0] == 2 + 3 + 3
+        assert m[0] == 4 * 3
+
+    def test_tied_children_replay_prefers_smaller_ids(self):
+        f = Forest.star(5, values=[100, 3, 3, 3, 3])
+        bas = tm_optimal_bas(f, 2)
+        # Retaining the root is optimal; the top-2 among the tied children
+        # must be the smaller ids 1 and 2 — deterministic output.
+        assert sorted(bas.retained) == [0, 1, 2]
+
+    def test_tied_subtrees_deep(self):
+        # Two structurally identical subtrees tie at the root's top-1 slot;
+        # the replay must keep the smaller-id child (1, not 2).
+        f = Forest([-1, 0, 0, 1, 1, 2, 2], [5, 4, 4, 1, 1, 1, 1])
+        bas = tm_optimal_bas(f, 1)
+        assert 1 in bas.retained and 2 not in bas.retained
+
+    def test_tie_policy_consistent_across_engines(self):
+        from repro.core.bas.tm import tm_values_vectorized
+
+        f = Forest.star(6, values=[1, 7, 7, 7, 7, 7])
+        for k in (1, 2, 3):
+            assert tm_values(f, k) == tm_values_vectorized(f, k)
