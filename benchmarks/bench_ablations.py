@@ -49,8 +49,8 @@ def test_bench_adversarial_ordering_gap(benchmark):
     js = JobSet(jobs)
 
     def run_both():
-        d = lsa_cs(js, 1, order="density").value
-        v = lsa_cs(js, 1, order="value").value
+        d = lsa_cs(js, k=1, order="density").value
+        v = lsa_cs(js, k=1, order="value").value
         return d, v
 
     d, v = benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -8,14 +8,16 @@ pytest-benchmark and asserts the headline claims:
 * ``tm_values_vectorized`` ≥ 5× the reference loop at n = 10^5;
 * parallel and serial sweeps agree bit-for-bit (speed is workload- and
   machine-dependent, so only equality is asserted here — the JSON records
-  the observed speedup).
+  the observed speedup);
+* the disabled observability layer costs < 5% on the TM hot path
+  (``repro.obs`` tracer contract).
 """
 
 import json
 
 import pytest
 
-from repro.analysis.perf import bench_tm_kernels, run_bench
+from repro.analysis.perf import bench_tm_kernels, bench_tracer_overhead, run_bench
 from repro.analysis.sweep import Sweep, run_sweep
 from repro.core.bas.tm import tm_values, tm_values_vectorized
 from repro.instances.random_trees import random_forest
@@ -34,6 +36,17 @@ def test_vectorized_speedup_at_1e5():
     fast = [r for r in records if r.op == "tm_values_vectorized"]
     assert fast and fast[0].speedup_vs_reference >= 5.0, (
         f"vectorized TM below the 5x gate: {fast}"
+    )
+
+
+def test_tracer_disabled_overhead_under_5pct():
+    records = bench_tracer_overhead(n=100_000, k=4, reps=7)
+    disabled = [r for r in records if r.op == "tracer_overhead[disabled]"]
+    assert disabled, f"overhead record missing: {records}"
+    # speedup_vs_reference = min(raw impl) / min(wrapper, tracer off);
+    # 1/1.05 is the 5% contract with min-of-reps noise robustness.
+    assert disabled[0].speedup_vs_reference >= 1 / 1.05, (
+        f"disabled tracer exceeds the 5% overhead gate: {disabled[0]}"
     )
 
 

@@ -49,8 +49,8 @@ def main() -> None:
         columns=["machines", "OPT_∞ (iterated)", "ALG value", "share", "jobs placed"],
     )
     for m in (1, 2, 3, 4):
-        opt_m = multimachine_opt_infty(jobs, m)
-        alg_m = multimachine_k_bounded(jobs, 2, m)
+        opt_m = multimachine_opt_infty(jobs, machines=m)
+        alg_m = multimachine_k_bounded(jobs, k=2, machines=m)
         verify_multimachine(alg_m, k=2).assert_ok()
         fleet.add_row(
             m, round(opt_m.value, 1), round(alg_m.value, 1),

@@ -65,6 +65,9 @@ from repro.core import (
     price_bound_P,
     price_bound_k0,
 )
+from repro.core.pricing import PriceMeasurement
+from repro.api import SolveResult, price_of_bounded_preemption, solve_k_bounded
+from repro.obs import JsonlSink, MemorySink, Tracer, TreeSink
 
 __version__ = "1.0.0"
 
@@ -106,5 +109,13 @@ __all__ = [
     "price_bound_n",
     "price_bound_P",
     "price_bound_k0",
+    "SolveResult",
+    "PriceMeasurement",
+    "solve_k_bounded",
+    "price_of_bounded_preemption",
+    "Tracer",
+    "MemorySink",
+    "JsonlSink",
+    "TreeSink",
     "__version__",
 ]

@@ -299,7 +299,7 @@ def e5_price_vs_P(
                     opt = edf_schedule(jobs).schedule
                 else:
                     opt = edf_accept_max_subset(jobs)
-                alg = lsa_cs(jobs, k)
+                alg = lsa_cs(jobs, k=k)
                 verify_schedule(alg, k=k).assert_ok()
                 prices.append(realized_price(opt.value, alg.value))
                 opts.append(opt.value)
@@ -464,16 +464,16 @@ def e8_multimachine(
         # Replicated Appendix-B instance: every machine must solve a copy.
         inst = appendix_b_jobs(k, 2)
         rep_jobs = replicate_for_machines(inst.jobs, m)
-        opt = multimachine_opt_infty(rep_jobs, m)
-        alg = multimachine_k_bounded(rep_jobs, k, m)
+        opt = multimachine_opt_infty(rep_jobs, machines=m)
+        alg = multimachine_k_bounded(rep_jobs, k=k, machines=m)
         verify_multimachine(alg, k=k).assert_ok()
         price = realized_price(opt.value, alg.value)
         bound = 2 * price_bound_P(float(inst.P), k) + 1
         table.add_row("appendix-B x m", m, float(opt.value), float(alg.value), price, bound)
 
         jobs = mixed_server_workload(n, seed=rngs[idx])
-        opt = multimachine_opt_infty(jobs, m)
-        alg = multimachine_k_bounded(jobs, k, m)
+        opt = multimachine_opt_infty(jobs, machines=m)
+        alg = multimachine_k_bounded(jobs, k=k, machines=m)
         verify_multimachine(alg, k=k).assert_ok()
         price = realized_price(opt.value, alg.value)
         bound = 2 * price_bound_P(jobs.length_ratio, k) + 1
@@ -543,8 +543,8 @@ def e10_ablations(
     for _ in range(repeats):
         jobs = random_lax_jobs(n, k, length_ratio=64.0, value_model="independent", seed=rngs[idx])
         idx += 1
-        d = lsa_cs(jobs, k, order="density")
-        v = lsa_cs(jobs, k, order="value")
+        d = lsa_cs(jobs, k=k, order="density")
+        v = lsa_cs(jobs, k=k, order="value")
         verify_schedule(d, k=k).assert_ok()
         verify_schedule(v, k=k).assert_ok()
         density_vals.append(d.value)
@@ -791,7 +791,7 @@ def e13_charging_argument(
             idx += 1
             classes = jobs.length_classes(k + 1)
             for class_jobs in classes.values():
-                sched = lsa(class_jobs, k)
+                sched = lsa(class_jobs, k=k)
                 busy_ok &= lsa_busy_segment_floor(sched, class_jobs)
                 rejected = [j for j in class_jobs if j.id not in sched]
                 rejected_total += len(rejected)

@@ -9,7 +9,9 @@ trajectory so future performance work has a baseline to beat:
   (:func:`repro.analysis.sweep.run_sweep`);
 * the exact ``OPT_∞`` branch-and-bound — cold vs warm
   :func:`repro.scheduling.edf.edf_feasible_cached` cache;
-* forest traversals — first (computing) vs cached ``postorder()``.
+* forest traversals — first (computing) vs cached ``postorder()``;
+* the observability layer — TM with the tracer disabled vs the raw kernel
+  (the < 5% overhead contract) and under a live tracer for reference.
 
 Each record carries the op name, problem size, repeat count, median and p90
 wall-time in milliseconds, and — for fast paths — the speedup against the
@@ -187,6 +189,54 @@ def bench_forest_traversals(n: int = 100_000, reps: int = 5, seed: int = 1) -> L
     ]
 
 
+def bench_tracer_overhead(
+    n: int = 100_000, k: int = 4, reps: int = 7, seed: int = 2018
+) -> List[BenchRecord]:
+    """Observability cost on the TM hot path.
+
+    Three timings of the same DP on the same warmed forest:
+
+    * the raw kernel (``_tm_values_vectorized_impl``) — the honest baseline,
+      no tracer check at all;
+    * the public wrapper with **no tracer active** — the disabled fast path
+      (one context-variable read plus a ``None`` check), whose
+      ``speedup_vs_reference`` against the raw kernel is the number the CI
+      gate asserts stays above ``1/1.05`` (< 5% overhead);
+    * the public wrapper **under an active tracer** with a memory sink —
+      informational, showing what full instrumentation costs.
+
+    Min-of-reps on both sides of each ratio, since scheduler noise only ever
+    inflates a measurement.
+    """
+    from repro.core.bas.tm import _tm_values_vectorized_impl, tm_values_vectorized
+    from repro.instances.random_trees import random_forest
+    from repro.obs.sinks import MemorySink
+    from repro.obs.tracer import Tracer, current_tracer
+
+    if current_tracer() is not None:  # pragma: no cover - defensive
+        raise RuntimeError("tracer-overhead benchmark must start with no tracer active")
+    forest = random_forest(n, seed=seed)
+    forest.postorder()
+    forest.children_index
+    # Interleave the disabled-path and baseline reps so slow drift (thermal,
+    # competing load) hits both sides equally instead of biasing the ratio.
+    impl_times: List[float] = []
+    off_times: List[float] = []
+    for _ in range(reps):
+        impl_times.extend(_times_ms(lambda: _tm_values_vectorized_impl(forest, k), 1))
+        off_times.extend(_times_ms(lambda: tm_values_vectorized(forest, k), 1))
+    tracer = Tracer(sinks=[MemorySink()])
+    with tracer.activate():
+        on_times = _times_ms(lambda: tm_values_vectorized(forest, k), reps)
+    return [
+        _record("tm_values_vectorized[impl]", n, k, impl_times),
+        _record("tracer_overhead[disabled]", n, k, off_times,
+                speedup=min(impl_times) / min(off_times)),
+        _record("tracer_overhead[enabled]", n, k, on_times,
+                speedup=min(impl_times) / min(on_times)),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -205,6 +255,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_sweep_engine(workers_values=(1, 2), n=120, repeats=2, reps=1)
             + bench_edf_cache(n=12, reps=2)
             + bench_forest_traversals(n=20_000, reps=2)
+            + bench_tracer_overhead(n=20_000, reps=5)
         )
     else:
         records = (
@@ -212,6 +263,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_sweep_engine()
             + bench_edf_cache()
             + bench_forest_traversals()
+            + bench_tracer_overhead()
         )
     payload = {
         "schema": "repro-bench-perf/1",

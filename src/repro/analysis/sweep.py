@@ -23,15 +23,25 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
+from repro.obs.tracer import Tracer, current_tracer
 from repro.utils.rng import spawn_rngs
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One cell's outcome: the parameter assignment and measured values."""
+    """One cell's outcome: the parameter assignment and measured values.
+
+    ``trace`` is ``None`` unless the sweep ran under an active tracer, in
+    which case it carries the cell's observability block: the cell's wall
+    time and the counters its repeats accumulated (worker-side counters for
+    process execution — merged into the parent trace as well).  Keeping it
+    out of ``metrics`` preserves the bit-identical serial/parallel
+    equality contract for untraced runs.
+    """
 
     params: Dict[str, Any]
     metrics: Dict[str, float]
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -47,20 +57,49 @@ class Sweep:
         return [dict(zip(names, combo)) for combo in combos]
 
 
-def _run_cell(task: Tuple[Callable[..., Mapping[str, float]], Dict[str, Any], list]) -> List[Mapping[str, float]]:
-    """Execute one cell's repeats (module-level so process pools can pickle it)."""
-    cell_fn, params, rngs = task
-    return [cell_fn(rng=rng, **params) for rng in rngs]
+def _run_cell(task) -> Tuple[List[Mapping[str, float]], Optional[Dict[str, Any]]]:
+    """Execute one cell's repeats (module-level so process pools can pickle it).
+
+    ``task`` is ``(cell_fn, params, rngs)`` plus an optional trailing
+    ``trace`` flag.  When tracing, the cell runs under a fresh worker-local
+    tracer whose export rides back to the parent — that is how spans
+    serialize across a :class:`ProcessPoolExecutor` and merge into the
+    parent trace.
+    """
+    cell_fn, params, rngs = task[0], task[1], task[2]
+    trace = task[3] if len(task) > 3 else False
+    if not trace:
+        return [cell_fn(rng=rng, **params) for rng in rngs], None
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span("sweep.cell", **{"repeats": len(rngs), **params}):
+            runs = [cell_fn(rng=rng, **params) for rng in rngs]
+    return runs, tracer.export()
 
 
-def _aggregate(params: Dict[str, Any], runs: List[Mapping[str, float]]) -> SweepResult:
+def _aggregate(
+    params: Dict[str, Any],
+    runs: List[Mapping[str, float]],
+    trace: Optional[Dict[str, Any]] = None,
+) -> SweepResult:
     keys = sorted({k for run in runs for k in run})
     metrics: Dict[str, float] = {}
     for key in keys:
         vals = [float(run[key]) for run in runs if key in run]
         metrics[key] = float(np.mean(vals))
         metrics[f"{key}_max"] = float(np.max(vals))
-    return SweepResult(params=dict(params), metrics=metrics)
+    return SweepResult(params=dict(params), metrics=metrics, trace=trace)
+
+
+def _cell_trace_block(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Condense a worker tracer export into the per-row ``trace`` block."""
+    spans = payload.get("spans", ())
+    wall_ms = None
+    for s in spans:
+        if s.get("name") == "sweep.cell":
+            wall_ms = s.get("ms")
+            break
+    return {"cell_wall_ms": wall_ms, "counters": dict(payload.get("counters", {}))}
 
 
 def run_sweep(
@@ -99,17 +138,44 @@ def run_sweep(
     if executor not in ("serial", "process"):
         raise ValueError(f"executor must be 'serial' or 'process', got {executor!r}")
 
+    tracer = current_tracer()
+    trace = tracer is not None
     cells = sweep.cells()
     rngs = spawn_rngs(seed, len(cells) * sweep.repeats)
     tasks = [
-        (cell_fn, params, list(rngs[i * sweep.repeats : (i + 1) * sweep.repeats]))
+        (cell_fn, params, list(rngs[i * sweep.repeats : (i + 1) * sweep.repeats]), trace)
         for i, params in enumerate(cells)
     ]
-    if executor == "process" and workers > 1 and len(tasks) > 1:
-        if chunksize is None:
-            chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            all_runs = list(pool.map(_run_cell, tasks, chunksize=chunksize))
-    else:
-        all_runs = [_run_cell(task) for task in tasks]
-    return [_aggregate(params, runs) for params, runs in zip(cells, all_runs)]
+    with (
+        tracer.span(
+            "sweep.run",
+            cells=len(cells), repeats=sweep.repeats,
+            workers=workers, executor=executor, seed=seed,
+        )
+        if trace
+        else _noop_context()
+    ):
+        if executor == "process" and workers > 1 and len(tasks) > 1:
+            if chunksize is None:
+                chunksize = max(1, len(tasks) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+                outcomes = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+        else:
+            outcomes = [_run_cell(task) for task in tasks]
+        results: List[SweepResult] = []
+        for params, (runs, payload) in zip(cells, outcomes):
+            block = None
+            if payload is not None:
+                # Worker-side spans and counters graft into the parent trace
+                # in deterministic cell order, regardless of worker count.
+                tracer.merge(payload)
+                tracer.count("sweep.cells_run")
+                block = _cell_trace_block(payload)
+            results.append(_aggregate(params, runs, block))
+    return results
+
+
+def _noop_context():
+    from contextlib import nullcontext
+
+    return nullcontext()

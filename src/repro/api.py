@@ -1,0 +1,189 @@
+"""repro.api — the stable facade over the solver stack.
+
+The research modules expose historically-grown surfaces
+(:func:`~repro.scheduling.exact.opt_infty_exact` returns a ``Schedule``,
+:func:`~repro.scheduling.exact.opt_infty_value` a scalar, LSA and the
+multi-machine wrappers each their own shapes).  Production callers get two
+uniform entry points instead:
+
+* :func:`solve_k_bounded` — one call, any ``k``/``machines``/``method``,
+  always a :class:`SolveResult`;
+* :func:`price_of_bounded_preemption` — the paper's headline quantity as a
+  :class:`~repro.core.pricing.PriceMeasurement`.
+
+Every solve runs under a tracer (the caller's, if one is active; a private
+one otherwise) and reports its observability block in
+``SolveResult.metrics`` — wall time, solver counters, and the method the
+dispatcher chose.  The names and signatures exported here are snapshot-
+tested (``tests/test_api.py``); changing them is an API break by
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.combined import schedule_k_bounded
+from repro.core.lsa import lsa_cs
+from repro.core.multimachine import (
+    multimachine_k_bounded,
+    multimachine_nonpreemptive,
+    multimachine_opt_infty,
+)
+from repro.core.nonpreemptive import nonpreemptive_combined
+from repro.core.pricing import PriceMeasurement, measured_price
+from repro.core.reduction import reduce_schedule_to_k_preemptive
+from repro.obs.tracer import Tracer, current_tracer
+from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
+from repro.scheduling.exact import opt_infty_auto
+from repro.scheduling.job import JobSet
+from repro.scheduling.schedule import MultiMachineSchedule, Schedule
+
+__all__ = ["SolveResult", "solve_k_bounded", "price_of_bounded_preemption"]
+
+#: Dispatchable methods of :func:`solve_k_bounded`.  ``auto`` picks the
+#: strongest pipeline for the instance; the named methods force one branch.
+METHODS = ("auto", "combined", "reduction", "lsa")
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """The uniform outcome of a facade solve.
+
+    ``value``/``preemptions_used`` are scalars for quick consumption;
+    ``schedule`` is the full artifact (:class:`Schedule`, or
+    :class:`MultiMachineSchedule` when ``machines > 1``); ``method`` is the
+    concrete pipeline that produced it; ``metrics`` is the solve's
+    observability block — ``wall_ms`` plus the tracer counters the solve
+    incremented (``exact.nodes``, ``tm.nodes``, ``lsa.placed``, …).
+    """
+
+    value: float
+    schedule: Union[Schedule, MultiMachineSchedule]
+    preemptions_used: int
+    method: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accepted_ids(self):
+        """Ids of the jobs the schedule accepts (sorted)."""
+        return list(self.schedule.scheduled_ids)
+
+
+def _solve_single(jobs: JobSet, k: int, method: str) -> Schedule:
+    if method in ("auto", "combined"):
+        if k == 0:
+            return nonpreemptive_combined(jobs)
+        return schedule_k_bounded(jobs, k)
+    if method == "reduction":
+        if k == 0:
+            raise ValueError("method='reduction' requires k >= 1")
+        return reduce_schedule_to_k_preemptive(opt_infty_auto(jobs), k)
+    if method == "lsa":
+        if k == 0:
+            return nonpreemptive_combined(jobs)
+        return lsa_cs(jobs, k=k)
+    raise ValueError(f"unknown method {method!r} (want one of {METHODS})")
+
+
+def solve_k_bounded(
+    jobs: JobSet,
+    k: int,
+    *,
+    machines: int = 1,
+    method: str = "auto",
+) -> SolveResult:
+    """Solve the k-bounded-preemption throughput problem, uniformly.
+
+    ``k`` is the preemption budget (``k = 0`` → non-preemptive, handled by
+    the Section 5 algorithms); ``machines > 1`` uses the non-migrative
+    iterated assignment of Section 4.3.4.  ``method``:
+
+    * ``"auto"``/``"combined"`` — Algorithm 3 with the strongest available
+      OPT_∞ input (the library's default pipeline);
+    * ``"reduction"`` — the §4.1 schedule→forest→k-BAS reduction applied to
+      the whole best ∞-preemptive schedule;
+    * ``"lsa"`` — classify-and-select LSA only (lax instances).
+
+    The solve always runs traced: under the caller's tracer when one is
+    active (spans join the caller's trace), else under a private tracer.
+    Either way ``SolveResult.metrics`` carries ``wall_ms`` and the solver
+    counters this solve produced.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r} (want one of {METHODS})")
+
+    caller_tracer = current_tracer()
+    tracer = caller_tracer if caller_tracer is not None else Tracer()
+    before = dict(tracer.counters)
+    # Re-activating the caller's tracer is a harmless set/reset of the same
+    # context variable, so one code path serves both ownership cases.
+    with tracer.activate():
+        with tracer.span(
+            "api.solve", n=jobs.n, k=k, machines=machines, method=method
+        ) as root:
+            if machines > 1:
+                if method != "auto":
+                    raise ValueError(
+                        "multi-machine solves dispatch the full pipeline; "
+                        "use method='auto' with machines > 1"
+                    )
+                if k == 0:
+                    schedule: Union[Schedule, MultiMachineSchedule] = (
+                        multimachine_nonpreemptive(jobs, machines=machines)
+                    )
+                else:
+                    schedule = multimachine_k_bounded(jobs, k=k, machines=machines)
+                resolved = "multimachine"
+            else:
+                schedule = _solve_single(jobs, k, method)
+                resolved = "combined" if method == "auto" else method
+            root.attrs["resolved_method"] = resolved
+        wall_ms = root.duration_ms
+
+    metrics: Dict[str, float] = {"wall_ms": float(wall_ms)}
+    for name, total in tracer.counters.items():
+        delta = total - before.get(name, 0)
+        if delta:
+            metrics[name] = float(delta)
+    return SolveResult(
+        value=float(schedule.value),
+        schedule=schedule,
+        preemptions_used=int(schedule.max_preemptions),
+        method=resolved,
+        metrics=metrics,
+    )
+
+
+def price_of_bounded_preemption(
+    jobs: JobSet,
+    k: int,
+    *,
+    machines: int = 1,
+) -> PriceMeasurement:
+    """Realised price of bounded preemption on one instance.
+
+    Measures ``OPT_∞ / ALG_k`` — the strongest available ∞-preemptive
+    benchmark over the facade's k-bounded solve — packaged with the
+    applicable theorem ceiling (Theorem 4.2 / 4.5 for ``k >= 1``, Section 5
+    for ``k = 0``) as a :class:`~repro.core.pricing.PriceMeasurement`.
+    """
+    if jobs.n == 0:
+        raise ValueError("price is undefined on an empty instance")
+    if machines > 1:
+        opt_value = multimachine_opt_infty(jobs, machines=machines).value
+    else:
+        opt_value = opt_infty_auto(jobs).value
+    result = solve_k_bounded(jobs, k, machines=machines)
+    return measured_price(
+        opt_value,
+        result.value,
+        n=jobs.n,
+        P=jobs.length_ratio,
+        k=k,
+    )

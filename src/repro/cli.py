@@ -6,6 +6,7 @@ Subcommands::
     repro-bench run e1 [--markdown]  # run one experiment, print its table
     repro-bench all [--markdown] [--workers N]  # the whole suite, optionally parallel
     repro-bench bench [--quick]      # time the hot kernels, write BENCH_perf.json
+    repro-bench trace e4 [--jsonl f] # run traced, print the span tree
     repro-bench demo                 # 20-line end-to-end tour
 
 Every experiment re-asserts its paper bound while running, so a clean exit
@@ -89,6 +90,58 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_trace(name: str, jsonl: Optional[str], max_depth: Optional[int]) -> int:
+    """Run one experiment (or the demo solve) under a tracer, print the tree.
+
+    ``demo`` exercises every instrumented path in one seeded run: the api
+    facade solve (TM + reduction + LSA + exact), a multi-machine assignment,
+    and a 2-worker process sweep whose worker spans merge into the parent
+    trace.  Any experiment name runs that experiment traced instead.
+    """
+    from repro.obs.sinks import JsonlSink, MemorySink, render_tree
+    from repro.obs.tracer import Tracer
+
+    sink = MemorySink()
+    sinks = [sink]
+    if jsonl:
+        sinks.append(JsonlSink(jsonl))
+    tracer = Tracer(sinks=sinks)
+    with tracer.activate():
+        if name == "demo":
+            from repro.analysis.config import CELL_REGISTRY
+            from repro.analysis.sweep import Sweep, run_sweep
+            from repro.api import solve_k_bounded
+            from repro.instances import random_jobs
+
+            jobs = random_jobs(16, seed=2018)
+            for k in (0, 2):
+                result = solve_k_bounded(jobs, k)
+                print(f"solve k={k}: value {result.value:.3f} ({result.method})")
+            mm = solve_k_bounded(jobs, 2, machines=2)
+            print(f"solve k=2 machines=2: value {mm.value:.3f}")
+            run_sweep(
+                Sweep(axes={"n": [10, 14], "k": [1, 2]}, repeats=2),
+                CELL_REGISTRY["price_mixed"],
+                seed=2018,
+                workers=2,
+            )
+            print("sweep: 4 cells x 2 repeats across 2 worker processes")
+        else:
+            run_experiment(name)
+    tracer.flush()
+    for root in sink.traces:
+        print()
+        print(render_tree(root, max_depth=max_depth))
+    if tracer.counters:
+        print()
+        print("counters:")
+        for cname in sorted(tracer.counters):
+            print(f"  {cname} = {tracer.counters[cname]}")
+    if jsonl:
+        print(f"\nwrote {jsonl}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -123,6 +176,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_perf.json",
         help="output JSON path (default: BENCH_perf.json; '-' to skip writing)",
     )
+    trace_p = sub.add_parser(
+        "trace", help="run an experiment (or 'demo') traced and print the span tree"
+    )
+    trace_p.add_argument(
+        "name", choices=["demo"] + sorted(EXPERIMENTS),
+        help="'demo' covers every instrumented path in one seeded run",
+    )
+    trace_p.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also stream span events to a JSONL file",
+    )
+    trace_p.add_argument(
+        "--max-depth", type=int, default=None,
+        help="collapse the printed tree below this depth",
+    )
     sub.add_parser("cells", help="list registered sweep cells")
     report_p = sub.add_parser("report", help="run everything and write REPORT.md")
     report_p.add_argument("--out", default="REPORT.md", help="output path")
@@ -150,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out != "-":
             print(f"wrote {args.out}")
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args.name, args.jsonl, args.max_depth)
     if args.command == "cells":
         from repro.analysis.config import CELL_REGISTRY
 

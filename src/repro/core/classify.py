@@ -78,7 +78,7 @@ def default_inner(jobs: JobSet, k: int) -> Schedule:
     optimum, which the portfolio's budget-EDF member supplies empirically.
     """
     candidates = [
-        lsa(jobs, k, enforce_laxity=False),
+        lsa(jobs, k=k, enforce_laxity=False),
         budget_edf(jobs, k),
         best_single_job(jobs),
     ]

@@ -67,7 +67,7 @@ def k_preemption_combined(
         strict_sched = Schedule(jobs, {})
 
     if lax.n > 0:
-        lax_sched = lsa_cs(lax, k)
+        lax_sched = lsa_cs(lax, k=k)
         lax_sched = Schedule(jobs, {i: list(lax_sched[i]) for i in lax_sched.scheduled_ids})
     else:
         lax_sched = Schedule(jobs, {})

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.tracer import current_tracer, span as obs_span
 from repro.scheduling.job import Job, JobSet
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.segment import Segment
 from repro.scheduling.timeline import Timeline, allocate_leftmost
+from repro.utils.compat import take_deprecated_positional
 from repro.utils.numeric import geq, gt, leq
 
 
@@ -37,8 +39,8 @@ def _check_lax(jobs: JobSet, k: int) -> None:
 
 def lsa(
     jobs: JobSet,
-    k: int,
-    *,
+    *args,
+    k: Optional[int] = None,
     order: str = "density",
     timeline: Optional[Timeline] = None,
     enforce_laxity: bool = True,
@@ -49,7 +51,11 @@ def lsa(
     ablation); ``timeline`` lets the multi-machine wrapper thread partially
     booked machines through; ``enforce_laxity=False`` disables the lax-input
     check for experiments that deliberately run LSA out of spec.
+
+    ``k`` is keyword-only; the legacy positional form still works but emits
+    a :class:`DeprecationWarning`.
     """
+    k = take_deprecated_positional("lsa", "k", args, k)
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
     if enforce_laxity and k >= 1:
@@ -61,48 +67,68 @@ def lsa(
     else:
         raise ValueError(f"unknown order {order!r}")
 
+    tracer = current_tracer()
     tl = timeline if timeline is not None else Timeline()
     assignment: Dict[int, List[Segment]] = {}
+    placed = rejected = 0
     for job in scan:
-        pieces = _place_job(tl, job, k)
+        pieces = _place_job(tl, job, k, tracer)
         if pieces is not None:
             tl.book(pieces)
             assignment[job.id] = pieces
+            placed += 1
+        else:
+            rejected += 1
+    if tracer is not None:
+        tracer.count("lsa.placed", placed)
+        tracer.count("lsa.rejected", rejected)
     return Schedule(jobs, assignment)
 
 
-def _place_job(tl: Timeline, job: Job, k: int) -> Optional[List[Segment]]:
+def _place_job(tl: Timeline, job: Job, k: int, tracer=None) -> Optional[List[Segment]]:
     """Algorithm 2, lines 11–20, for a single job.
 
     ``S`` starts as the leftmost ``k + 1`` idle segments in the window; on a
     misfit the shortest member is swapped for the next idle segment to the
     right, until the job fits or the window's idle segments are exhausted.
+    ``tracer`` (hoisted by the caller — this runs once per job) records each
+    fit attempt and segment swap.
     """
     idles = tl.idle_in(job.release, job.deadline)
     if not idles:
+        if tracer is not None:
+            tracer.count("lsa.placement_attempts")
         return None
     budget = k + 1
     S: List[Segment] = idles[:budget]
     next_idx = len(S)
-    while True:
-        capacity = sum(s.length for s in S)
-        if geq(capacity, job.length):
-            pieces = allocate_leftmost(sorted(S, key=lambda s: s.start), job.length)
-            assert pieces is not None and len(pieces) <= budget
-            return pieces
-        if next_idx >= len(idles):
-            return None
-        # Swap the shortest member of S for the next idle segment.
-        shortest = min(range(len(S)), key=lambda i: (S[i].length, S[i].start))
-        S.pop(shortest)
-        S.append(idles[next_idx])
-        next_idx += 1
+    attempts = swaps = 0
+    try:
+        while True:
+            attempts += 1
+            capacity = sum(s.length for s in S)
+            if geq(capacity, job.length):
+                pieces = allocate_leftmost(sorted(S, key=lambda s: s.start), job.length)
+                assert pieces is not None and len(pieces) <= budget
+                return pieces
+            if next_idx >= len(idles):
+                return None
+            # Swap the shortest member of S for the next idle segment.
+            shortest = min(range(len(S)), key=lambda i: (S[i].length, S[i].start))
+            S.pop(shortest)
+            S.append(idles[next_idx])
+            next_idx += 1
+            swaps += 1
+    finally:
+        if tracer is not None:
+            tracer.count("lsa.placement_attempts", attempts)
+            tracer.count("lsa.swap_attempts", swaps)
 
 
 def lsa_cs(
     jobs: JobSet,
-    k: int,
-    *,
+    *args,
+    k: Optional[int] = None,
     order: str = "density",
     return_all_classes: bool = False,
 ) -> Schedule | Tuple[Schedule, Dict[int, Schedule]]:
@@ -116,7 +142,11 @@ def lsa_cs(
 
     ``return_all_classes=True`` also returns the per-class schedules, which
     the experiments use to show where the value concentrates.
+
+    ``k`` is keyword-only; the legacy positional form still works but emits
+    a :class:`DeprecationWarning`.
     """
+    k = take_deprecated_positional("lsa_cs", "k", args, k)
     if k < 1:
         raise ValueError(
             f"lsa_cs requires k >= 1, got {k}; use repro.core.nonpreemptive for k = 0"
@@ -126,13 +156,15 @@ def lsa_cs(
     classes = jobs.length_classes(k + 1)
     per_class: Dict[int, Schedule] = {}
     best: Optional[Schedule] = None
-    for c, class_jobs in classes.items():
-        sched = lsa(class_jobs, k, order=order)
-        # Re-home onto the full instance for uniform value accounting.
-        sched = Schedule(jobs, {i: list(sched[i]) for i in sched.scheduled_ids})
-        per_class[c] = sched
-        if best is None or sched.value > best.value:
-            best = sched
+    with obs_span("lsa.classify", n=jobs.n, k=k, classes=len(classes)):
+        for c, class_jobs in classes.items():
+            with obs_span("lsa.class", cls=c, jobs=class_jobs.n):
+                sched = lsa(class_jobs, k=k, order=order)
+            # Re-home onto the full instance for uniform value accounting.
+            sched = Schedule(jobs, {i: list(sched[i]) for i in sched.scheduled_ids})
+            per_class[c] = sched
+            if best is None or sched.value > best.value:
+                best = sched
     assert best is not None
     if return_all_classes:
         return best, per_class

@@ -29,6 +29,7 @@ from repro.core.bas.contraction import levelled_contraction
 from repro.core.bas.forest import Forest
 from repro.core.bas.subforest import SubForest
 from repro.core.bas.tm import tm_optimal_bas
+from repro.obs.tracer import current_tracer
 from repro.scheduling.laminar import is_laminar, laminarize
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.segment import Segment, merge_touching
@@ -159,12 +160,33 @@ def reduce_schedule_to_k_preemptive(
         )
     if len(schedule) == 0:
         return schedule
-    laminar = schedule if is_laminar(schedule) else laminarize(schedule)
-    forest, node_to_job = schedule_to_forest(laminar)
+    tracer = current_tracer()
+    if tracer is None:
+        laminar = schedule if is_laminar(schedule) else laminarize(schedule)
+        forest, node_to_job = schedule_to_forest(laminar)
+        bas = _pick_bas(forest, k, algorithm)
+        return forest_to_schedule(laminar, node_to_job, bas)
+    with tracer.span(
+        "reduce.pipeline", jobs=len(schedule), k=k, algorithm=algorithm
+    ) as s:
+        with tracer.span("reduce.laminarize", jobs=len(schedule)) as lam_span:
+            already = is_laminar(schedule)
+            laminar = schedule if already else laminarize(schedule)
+            lam_span.attrs["already_laminar"] = already
+        with tracer.span("reduce.forest"):
+            forest, node_to_job = schedule_to_forest(laminar)
+        with tracer.span("reduce.bas", n=forest.n):
+            bas = _pick_bas(forest, k, algorithm)
+        with tracer.span("reduce.compact", retained=len(bas.retained)):
+            out = forest_to_schedule(laminar, node_to_job, bas)
+        s.attrs["kept_value"] = float(out.value)
+        tracer.count("reduce.runs")
+        return out
+
+
+def _pick_bas(forest: Forest, k: int, algorithm: str) -> SubForest:
     if algorithm == "tm":
-        bas = tm_optimal_bas(forest, k)
-    elif algorithm == "contraction":
-        bas = levelled_contraction(forest, k).best_subforest()
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r} (want 'tm' or 'contraction')")
-    return forest_to_schedule(laminar, node_to_job, bas)
+        return tm_optimal_bas(forest, k)
+    if algorithm == "contraction":
+        return levelled_contraction(forest, k).best_subforest()
+    raise ValueError(f"unknown algorithm {algorithm!r} (want 'tm' or 'contraction')")

@@ -1,0 +1,48 @@
+"""repro.obs — zero-dependency solver observability.
+
+The solvers in :mod:`repro.core` and :mod:`repro.scheduling` are
+instrumented with nested spans and counters that explain where a solve's
+time and search effort went — per-level TM batch sizes, branch-and-bound
+nodes, EDF-cache hit rates, LSA placement attempts, per-cell sweep
+timings.  All of it is off by default and costs < 5 % (gated in CI) on the
+hottest kernel when off.
+
+Turn it on by activating a :class:`Tracer` around any library call::
+
+    from repro.obs import Tracer, MemorySink, render_tree
+
+    sink = MemorySink()
+    tracer = Tracer(sinks=[sink])
+    with tracer.activate():
+        schedule_k_bounded(jobs, 2)
+    print(render_tree(sink.traces[-1]))
+    print(tracer.counters)
+
+or from the CLI: ``python -m repro trace demo``.  See ``docs/API.md`` for
+the span naming scheme and sink configuration.
+"""
+
+from repro.obs.sinks import JsonlSink, MemorySink, TreeSink, render_tree
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    count,
+    current_tracer,
+    gauge,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "count",
+    "gauge",
+    "traced",
+    "MemorySink",
+    "JsonlSink",
+    "TreeSink",
+    "render_tree",
+]

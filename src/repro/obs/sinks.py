@@ -1,0 +1,137 @@
+"""Pluggable trace sinks: ring buffer, JSONL file, human-readable tree.
+
+A sink is anything with ``emit(event: dict) -> None``; ``flush()`` is
+optional.  The tracer emits three event shapes (see
+:class:`repro.obs.tracer.Tracer`): per-span closures (``ev == "span"``),
+completed root trees (``ev == "trace"``) and a final counters snapshot
+(``ev == "counters"``).  Sinks pick the shape they care about and ignore
+the rest, so one tracer can feed several at once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = ["MemorySink", "JsonlSink", "TreeSink", "render_tree"]
+
+
+class MemorySink:
+    """In-memory ring buffer of the last ``maxlen`` events.
+
+    The default sink for programmatic inspection: tests and the API facade
+    read ``events`` (all retained events), ``span_events`` and
+    ``counter_snapshots`` off it after a traced run.
+    """
+
+    def __init__(self, maxlen: int = 10_000):
+        self._events: deque = deque(maxlen=maxlen)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
+
+    @property
+    def span_events(self) -> List[Dict[str, Any]]:
+        return [e for e in self._events if e.get("ev") == "span"]
+
+    @property
+    def traces(self) -> List[Dict[str, Any]]:
+        """Completed root span trees, oldest first."""
+        return [e["root"] for e in self._events if e.get("ev") == "trace"]
+
+    @property
+    def counter_snapshots(self) -> List[Dict[str, Any]]:
+        return [e for e in self._events if e.get("ev") == "counters"]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink:
+    """One JSON object per line, either to a path or an open text stream.
+
+    Span events stream out as they close (worker-merged spans included, via
+    the tracer's replay), so a crash mid-run still leaves a usable partial
+    trace on disk.  The file is closed by :meth:`flush` only when this sink
+    opened it.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if event.get("ev") == "trace":
+            return  # the nested tree duplicates already-streamed span events
+        self._fh.write(json.dumps(event, default=str) + "\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+
+def render_tree(root: Dict[str, Any], *, max_depth: Optional[int] = None) -> str:
+    """Render a nested span dict (``Span.to_dict`` shape) as an ASCII tree.
+
+    Attributes print inline after the timing; children beyond ``max_depth``
+    collapse into a ``… (+N spans)`` marker so deep traces stay readable.
+    """
+    lines: List[str] = []
+
+    def _count(node: Dict[str, Any]) -> int:
+        return 1 + sum(_count(c) for c in node.get("children", ()))
+
+    def _fmt_attrs(attrs: Dict[str, Any]) -> str:
+        if not attrs:
+            return ""
+        parts = []
+        for key in sorted(attrs):
+            value = attrs[key]
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            parts.append(f"{key}={value}")
+        return "  [" + " ".join(parts) + "]"
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        ms = node.get("ms")
+        timing = "?" if ms is None else f"{ms:.3f}ms"
+        lines.append(f"{'  ' * depth}{node['name']}  {timing}{_fmt_attrs(node.get('attrs', {}))}")
+        children = node.get("children", ())
+        if max_depth is not None and depth + 1 > max_depth and children:
+            hidden = sum(_count(c) for c in children)
+            lines.append(f"{'  ' * (depth + 1)}… (+{hidden} spans)")
+            return
+        for child in children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+class TreeSink:
+    """Prints every completed root span as an indented tree.
+
+    ``stream`` defaults to stdout at emit time (so pytest capture works);
+    pass ``max_depth`` to keep enormous traces skimmable.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, *, max_depth: Optional[int] = None):
+        self._stream = stream
+        self._max_depth = max_depth
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if event.get("ev") == "trace":
+            import sys
+
+            out = self._stream if self._stream is not None else sys.stdout
+            out.write(render_tree(event["root"], max_depth=self._max_depth) + "\n")

@@ -24,38 +24,23 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import current_tracer
 from repro.scheduling.edf import edf_feasible, edf_feasible_cached, edf_schedule
 from repro.scheduling.job import Job, JobSet
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.segment import Segment, drop_zero_length, merge_touching
+from repro.utils.compat import take_deprecated_positional
 from repro.utils.numeric import is_exact
 
 
-def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
-    """Exact maximum-value ∞-preemptively feasible subset, as a schedule.
+def _branch_and_bound(jobs: JobSet):
+    """The include/exclude search over density order: (value, accepted ids).
 
-    Branch-and-bound over include/exclude decisions in density order.  The
-    feasibility oracle is exact preemptive EDF; the upper bound at each node
-    is current value + all remaining values (simple, but with density
-    ordering and early feasibility failure it prunes well at this scale).
-
-    ``max_jobs`` is a guard rail: beyond ~26 jobs the worst case is too slow
-    and callers should use :func:`repro.scheduling.edf.edf_accept_max_subset`
-    or an analytic optimum instead.
+    Shared core of :func:`opt_infty_exact` and :func:`opt_infty_value` — a
+    single implementation (and a single cache entry, see
+    :func:`_solve_by_key`) so the two can never disagree.
     """
-    if jobs.n > max_jobs:
-        raise ValueError(
-            f"opt_infty_exact limited to {max_jobs} jobs (got {jobs.n}); "
-            "use edf_accept_max_subset or an analytic OPT for larger instances"
-        )
-    if jobs.n == 0:
-        return Schedule(jobs, {})
-
-    # Fast path: everything fits (always true on the lower-bound families).
-    if edf_feasible(jobs):
-        result = edf_schedule(jobs)
-        return result.schedule
-
+    tracer = current_tracer()
     order = jobs.sorted_by_density()
     suffix_value = [0] * (len(order) + 1)
     for i in range(len(order) - 1, -1, -1):
@@ -63,9 +48,11 @@ def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
 
     best_value = 0
     best_subset: List[Job] = []
+    nodes = 0
 
     def recurse(i: int, chosen: List[Job], value) -> None:
-        nonlocal best_value, best_subset
+        nonlocal best_value, best_subset, nodes
+        nodes += 1
         if value + suffix_value[i] <= best_value:
             return
         if i == len(order):
@@ -86,15 +73,83 @@ def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
         recurse(i + 1, chosen, value)
 
     recurse(0, [], 0)
-    chosen_set = JobSet(best_subset)
-    result = edf_schedule(chosen_set)
+    if tracer is not None:
+        tracer.count("exact.nodes", nodes)
+    return best_value, tuple(sorted(j.id for j in best_subset))
+
+
+def _solve_key(jobs: JobSet):
+    return tuple(sorted((j.release, j.deadline, j.length, j.value, j.id) for j in jobs))
+
+
+@lru_cache(maxsize=2048)
+def _solve_by_key(key):
+    jobs = JobSet(Job(i, r, d, p, v) for (r, d, p, v, i) in key)
+    return _branch_and_bound(jobs)
+
+
+def _opt_infty_solve(jobs: JobSet, max_jobs: int):
+    """Validated, cached ``OPT_∞`` subset selection: (value, accepted ids)."""
+    if jobs.n > max_jobs:
+        raise ValueError(
+            f"opt_infty_exact limited to {max_jobs} jobs (got {jobs.n}); "
+            "use edf_accept_max_subset or an analytic OPT for larger instances"
+        )
+    if jobs.n == 0:
+        return 0, ()
+    tracer = current_tracer()
+    # Fast path: everything fits (always true on the lower-bound families).
+    if edf_feasible(jobs):
+        if tracer is not None:
+            tracer.count("exact.fast_path")
+        return jobs.total_value, tuple(sorted(jobs.ids))
+    if tracer is None:
+        return _solve_by_key(_solve_key(jobs))
+    before = edf_feasible_cached.cache_info()
+    bb_before = _solve_by_key.cache_info()
+    with tracer.span("exact.opt_infty", n=jobs.n) as s:
+        value, ids = _solve_by_key(_solve_key(jobs))
+        after = edf_feasible_cached.cache_info()
+        bb_after = _solve_by_key.cache_info()
+        s.attrs["accepted"] = len(ids)
+        s.attrs["solve_cached"] = bb_after.hits > bb_before.hits
+        tracer.count("exact.edf_cache_hits", after.hits - before.hits)
+        tracer.count("exact.edf_cache_misses", after.misses - before.misses)
+    return value, ids
+
+
+def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
+    """Exact maximum-value ∞-preemptively feasible subset, as a schedule.
+
+    Branch-and-bound over include/exclude decisions in density order.  The
+    feasibility oracle is exact preemptive EDF; the upper bound at each node
+    is current value + all remaining values (simple, but with density
+    ordering and early feasibility failure it prunes well at this scale).
+    The subset selection is memoized on the frozen instance, and
+    :func:`opt_infty_value` reads the same cache — the returned schedule and
+    the reported value always agree.
+
+    ``max_jobs`` is a guard rail: beyond ~26 jobs the worst case is too slow
+    and callers should use :func:`repro.scheduling.edf.edf_accept_max_subset`
+    or an analytic optimum instead.
+    """
+    value, ids = _opt_infty_solve(jobs, max_jobs)
+    if not ids:
+        return Schedule(jobs, {})
+    result = edf_schedule(jobs.subset(ids))
     assert result.feasible
     return Schedule(jobs, {i: list(result.schedule[i]) for i in result.schedule.scheduled_ids})
 
 
 def opt_infty_value(jobs: JobSet, *, max_jobs: int = 26):
-    """Value of the exact ∞-preemptive optimum."""
-    return opt_infty_exact(jobs, max_jobs=max_jobs).value
+    """Value of the exact ∞-preemptive optimum.
+
+    Delegates to the same cached branch-and-bound core as
+    :func:`opt_infty_exact` (it previously re-ran the full search), so
+    repeated value queries are O(cache lookup) and can never disagree with
+    the materialised schedule.
+    """
+    return _opt_infty_solve(jobs, max_jobs)[0]
 
 
 def opt_infty_auto(
@@ -144,8 +199,8 @@ def _require_integral(jobs: JobSet) -> None:
 
 def k_feasible_subset_small(
     jobs: JobSet,
-    k: int,
-    *,
+    *args,
+    k: Optional[int] = None,
     max_slots: int = 40,
 ) -> Optional[Schedule]:
     """Decide whether *all* given jobs fit in a k-preemptive schedule.
@@ -157,7 +212,11 @@ def k_feasible_subset_small(
 
     Exponential — intended for instances with horizon ≤ ``max_slots`` and a
     handful of jobs, as an oracle for tests and micro-benchmarks.
+
+    ``k`` is keyword-only; the legacy positional form still works but emits
+    a :class:`DeprecationWarning`.
     """
+    k = take_deprecated_positional("k_feasible_subset_small", "k", args, k)
     _require_integral(jobs)
     ordered = sorted(jobs, key=lambda j: (j.release, j.id))
     if not ordered:
@@ -228,8 +287,8 @@ def k_feasible_subset_small(
 
 def opt_k_exact_small(
     jobs: JobSet,
-    k: int,
-    *,
+    *args,
+    k: Optional[int] = None,
     max_slots: int = 40,
     max_jobs: int = 10,
 ) -> Schedule:
@@ -239,7 +298,11 @@ def opt_k_exact_small(
     bound) and certifies each candidate with the unit-slot feasibility DFS.
     Used by the tests to sandwich the pipeline (``ALG_k <= OPT_k <= OPT_∞``)
     and by the k = 0 experiments on the geometric chain.
+
+    ``k`` is keyword-only; the legacy positional form still works but emits
+    a :class:`DeprecationWarning`.
     """
+    k = take_deprecated_positional("opt_k_exact_small", "k", args, k)
     _require_integral(jobs)
     if jobs.n > max_jobs:
         raise ValueError(f"opt_k_exact_small limited to {max_jobs} jobs, got {jobs.n}")
@@ -256,7 +319,7 @@ def opt_k_exact_small(
         if value + suffix[i] <= best[0]:
             return
         if i == n:
-            witness = k_feasible_subset_small(JobSet(chosen), k, max_slots=max_slots)
+            witness = k_feasible_subset_small(JobSet(chosen), k=k, max_slots=max_slots)
             if witness is not None and value > best[0]:
                 best = (
                     value,

@@ -1,0 +1,60 @@
+"""Backwards-compatibility helpers for the keyword-only signature pass.
+
+PR 2 unified the solver surface: ``k``, ``machines`` and ``max_jobs`` are
+keyword-only and identically named across :mod:`repro.scheduling.exact`,
+:mod:`repro.core.multimachine` and :mod:`repro.core.lsa`.  The old
+positional call forms keep working for one deprecation cycle through
+:func:`take_deprecated_positional`, which resolves a parameter from either
+spelling and warns on the positional one.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Tuple
+
+__all__ = ["take_deprecated_positional", "warn_positional"]
+
+
+def warn_positional(fn_name: str, params: str) -> None:
+    """Emit the standard deprecation warning for an old positional call."""
+    warnings.warn(
+        f"passing {params} positionally to {fn_name}() is deprecated; "
+        f"pass {params} as keyword argument(s)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def take_deprecated_positional(
+    fn_name: str,
+    param: str,
+    args: Tuple[Any, ...],
+    value: Any,
+    *,
+    required: bool = True,
+    default: Any = None,
+) -> Any:
+    """Resolve a parameter that became keyword-only.
+
+    ``args`` is the function's ``*args`` residue (the legacy positional
+    slot); ``value`` is the keyword spelling.  Exactly one of the two may
+    supply the parameter; the positional form warns.
+    """
+    if len(args) > 1:
+        raise TypeError(
+            f"{fn_name}() takes at most one positional value for {param!r}, "
+            f"got {len(args)}"
+        )
+    if args:
+        if value is not None:
+            raise TypeError(f"{fn_name}() got multiple values for argument {param!r}")
+        warn_positional(fn_name, param)
+        return args[0]
+    if value is None:
+        if required:
+            raise TypeError(
+                f"{fn_name}() missing required keyword-only argument: {param!r}"
+            )
+        return default
+    return value

@@ -143,14 +143,14 @@ class TestPrefixDominance:
 class TestLsaInvariants:
     def test_busy_floor_on_lsa(self):
         jobs = random_lax_jobs(40, 2, length_ratio=2.9, seed=0)
-        sched = lsa(jobs, 2)
+        sched = lsa(jobs, k=2)
         assert lsa_busy_segment_floor(sched, jobs)
 
     def test_rejected_window_load(self):
         # Three identical jobs fighting for [0, 6]: one fits, two rejected,
         # and each rejected window is 4/6-loaded by the winner.
         jobs = make_jobs([(0, 6, 4, 9.0), (0, 6, 4, 8.0), (0, 6, 4, 1.0)])
-        sched = lsa(jobs, 0, enforce_laxity=False)
+        sched = lsa(jobs, k=0, enforce_laxity=False)
         rejected = [j for j in jobs if j.id not in sched]
         assert len(rejected) == 2
         for j in rejected:

@@ -69,8 +69,8 @@ class TestMassTies:
 
     def test_lsa_deterministic_under_ties(self):
         jobs = make_jobs([(0, 12, 3, 2.0) for _ in range(6)])
-        a = lsa(jobs, 1, enforce_laxity=False)
-        b = lsa(jobs, 1, enforce_laxity=False)
+        a = lsa(jobs, k=1, enforce_laxity=False)
+        b = lsa(jobs, k=1, enforce_laxity=False)
         assert a.scheduled_ids == b.scheduled_ids
 
 

@@ -117,14 +117,14 @@ class TestOptKExactSmall:
         jobs = make_jobs(
             [(0, 8, 4, 3.0), (1, 4, 2, 2.0), (5, 8, 2, 2.0), (2, 7, 2, 1.0)]
         )
-        values = [opt_k_exact_small(jobs, k).value for k in (0, 1, 2)]
+        values = [opt_k_exact_small(jobs, k=k).value for k in (0, 1, 2)]
         assert values[0] <= values[1] <= values[2]
 
     def test_sandwich_with_opt_infty(self):
         jobs = make_jobs([(0, 6, 3, 2.0), (1, 4, 2, 3.0), (3, 8, 3, 1.0)])
         opt_inf = opt_infty_value(jobs)
         for k in (0, 1, 2):
-            s = opt_k_exact_small(jobs, k)
+            s = opt_k_exact_small(jobs, k=k)
             verify_schedule(s, k=k).assert_ok()
             assert s.value <= opt_inf + 1e-9
 

@@ -44,7 +44,7 @@ class TestSandwichAgainstExactOracles:
         jobs = make_jobs(seed_jobs)
         alg = schedule_k_bounded(jobs, k)
         verify_schedule(alg, k=k).assert_ok()
-        opt_k = opt_k_exact_small(jobs, k)
+        opt_k = opt_k_exact_small(jobs, k=k)
         opt_inf = opt_infty_exact(jobs)
         assert alg.value <= opt_k.value + 1e-9
         assert opt_k.value <= opt_inf.value + 1e-9
@@ -57,7 +57,7 @@ class TestSandwichAgainstExactOracles:
         jobs = make_jobs(seed_jobs)
         alg = nonpreemptive_combined(jobs)
         verify_schedule(alg, k=0).assert_ok()
-        opt_0 = opt_k_exact_small(jobs, 0)
+        opt_0 = opt_k_exact_small(jobs, k=0)
         assert alg.value <= opt_0.value + 1e-9
 
 

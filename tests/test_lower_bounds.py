@@ -57,12 +57,12 @@ class TestGeometricChain:
     def test_exact_opt0_is_one(self):
         # Small enough for the slot oracle: no two jobs coexist at k = 0.
         jobs = geometric_chain(3)
-        best = opt_k_exact_small(jobs, 0, max_slots=40, max_jobs=5)
+        best = opt_k_exact_small(jobs, k=0, max_slots=40, max_jobs=5)
         assert best.value == 1.0
 
     def test_exact_opt1_is_n(self):
         jobs = geometric_chain(3)
-        best = opt_k_exact_small(jobs, 1, max_slots=40, max_jobs=5)
+        best = opt_k_exact_small(jobs, k=1, max_slots=40, max_jobs=5)
         assert best.value == 3.0
 
     def test_rejects_n_zero(self):

@@ -22,44 +22,44 @@ def lax_jobs(*triples, k=1):
 class TestLsaBasics:
     def test_single_job_leftmost(self):
         jobs = lax_jobs((0, 10, 4))
-        s = lsa(jobs, 1)
+        s = lsa(jobs, k=1)
         assert s[0] == (Segment(0, 4),)
 
     def test_feasible_output(self):
         jobs = random_lax_jobs(30, 2, seed=0)
-        s = lsa(jobs, 2)
+        s = lsa(jobs, k=2)
         verify_schedule(s, k=2).assert_ok()
 
     def test_preemption_budget_respected(self):
         jobs = random_lax_jobs(50, 1, seed=1)
-        s = lsa(jobs, 1)
+        s = lsa(jobs, k=1)
         assert s.max_preemptions <= 1
 
     def test_density_order_wins_conflicts(self):
         # Two jobs fighting for [0, 8]: the denser one is placed first.
         jobs = make_jobs([(0, 8, 4, 2.0), (0, 8, 4, 7.0)])
-        s = lsa(jobs, 1, enforce_laxity=False)
+        s = lsa(jobs, k=1, enforce_laxity=False)
         assert 1 in s
 
     def test_enforce_laxity(self):
         strict = make_jobs([(0, 5, 4)])  # λ = 1.25 < 2
         with pytest.raises(ValueError, match="lax"):
-            lsa(strict, 1)
-        s = lsa(strict, 1, enforce_laxity=False)
+            lsa(strict, k=1)
+        s = lsa(strict, k=1, enforce_laxity=False)
         verify_schedule(s, k=1).assert_ok()
 
     def test_value_order_variant(self):
         jobs = random_lax_jobs(20, 1, seed=2)
-        s = lsa(jobs, 1, order="value")
+        s = lsa(jobs, k=1, order="value")
         verify_schedule(s, k=1).assert_ok()
 
     def test_unknown_order(self):
         with pytest.raises(ValueError):
-            lsa(lax_jobs((0, 10, 4)), 1, order="bogus")
+            lsa(lax_jobs((0, 10, 4)), k=1, order="bogus")
 
     def test_negative_k_rejected(self):
         with pytest.raises(ValueError):
-            lsa(lax_jobs((0, 10, 4)), -1)
+            lsa(lax_jobs((0, 10, 4)), k=-1)
 
 
 class TestLsaPlacement:
@@ -67,7 +67,7 @@ class TestLsaPlacement:
         # Pre-book the middle so the window's idle space is split.
         tl = Timeline([Segment(3, 5)])
         jobs = lax_jobs((0, 12, 5))
-        s = lsa(jobs, 1, timeline=tl)
+        s = lsa(jobs, k=1, timeline=tl)
         assert s[0] == (Segment(0, 3), Segment(5, 7))
 
     def test_swap_shortest_for_next(self):
@@ -75,13 +75,13 @@ class TestLsaPlacement:
         # loop must advance to [2,7].
         tl = Timeline([Segment(1, 2)])
         jobs = make_jobs([(0, 12, 4)])
-        s = lsa(jobs, 0, enforce_laxity=False, timeline=tl)
+        s = lsa(jobs, k=0, enforce_laxity=False, timeline=tl)
         assert s[0] == (Segment(2, 6),)
 
     def test_rejects_when_window_full(self):
         tl = Timeline([Segment(0, 12)])
         jobs = lax_jobs((0, 12, 5))
-        s = lsa(jobs, 1, timeline=tl)
+        s = lsa(jobs, k=1, timeline=tl)
         assert len(s) == 0
 
     def test_rejects_when_fragmented_beyond_budget(self):
@@ -89,19 +89,19 @@ class TestLsaPlacement:
         # p = 5 > 4: unschedulable at k=1.
         tl = Timeline([Segment(2, 4), Segment(6, 8), Segment(10, 12)])
         jobs = make_jobs([(0, 14, 5)])
-        s = lsa(jobs, 1, enforce_laxity=False, timeline=tl)
+        s = lsa(jobs, k=1, enforce_laxity=False, timeline=tl)
         assert len(s) == 0
 
     def test_k2_fits_fragmented(self):
         tl = Timeline([Segment(2, 4), Segment(6, 8), Segment(10, 12)])
         jobs = make_jobs([(0, 14, 5)])
-        s = lsa(jobs, 2, enforce_laxity=False, timeline=tl)
+        s = lsa(jobs, k=2, enforce_laxity=False, timeline=tl)
         verify_schedule(s, k=2).assert_ok()
         assert len(s[0]) <= 3
 
     def test_sequential_jobs_tile(self):
         jobs = lax_jobs((0, 10, 2), (0, 10, 2), (0, 10, 2))
-        s = lsa(jobs, 1)
+        s = lsa(jobs, k=1)
         verify_schedule(s, k=1).assert_ok()
         assert len(s) == 3
         assert s.busy_segments() == [Segment(0, 6)]
@@ -110,7 +110,7 @@ class TestLsaPlacement:
 class TestLsaCs:
     def test_feasible_and_bounded(self):
         jobs = random_lax_jobs(40, 2, length_ratio=30.0, seed=3)
-        s = lsa_cs(jobs, 2)
+        s = lsa_cs(jobs, k=2)
         verify_schedule(s, k=2).assert_ok()
 
     def test_lemma_4_10_guarantee(self):
@@ -118,7 +118,7 @@ class TestLsaCs:
         # 6 log_{k+1} P bound must hold against it.
         for seed in range(4):
             jobs = random_lax_jobs(25, 2, length_ratio=20.0, horizon=500.0, seed=seed)
-            s = lsa_cs(jobs, 2)
+            s = lsa_cs(jobs, k=2)
             if edf_feasible(jobs):
                 opt = jobs.total_value
             else:
@@ -128,8 +128,8 @@ class TestLsaCs:
 
     def test_single_class_degenerates_to_lsa(self):
         jobs = lax_jobs((0, 10, 2), (1, 12, 3))
-        cs = lsa_cs(jobs, 1)
-        plain = lsa(jobs, 1)
+        cs = lsa_cs(jobs, k=1)
+        plain = lsa(jobs, k=1)
         assert cs.value == plain.value
 
     def test_returns_best_class(self):
@@ -139,7 +139,7 @@ class TestLsaCs:
             [(0, 30, 1, 1.0), (0, 30, 1, 1.0), (0, 30, 1, 1.0), (0, 30, 1, 1.0),
              (0, 60, 9, 1.0)]
         )
-        s, per_class = lsa_cs(jobs, 2, return_all_classes=True)
+        s, per_class = lsa_cs(jobs, k=2, return_all_classes=True)
         assert len(per_class) == 2
         assert s.value == 4.0
 
@@ -147,19 +147,19 @@ class TestLsaCs:
         # Jobs of different classes may overlap in time in their own class
         # schedules; the returned winner is internally consistent.
         jobs = make_jobs([(0, 8, 2, 1.0), (0, 40, 10, 9.0)])
-        s = lsa_cs(jobs, 1)
+        s = lsa_cs(jobs, k=1)
         verify_schedule(s, k=1).assert_ok()
         assert s.value == 9.0
 
     def test_k0_rejected(self):
         with pytest.raises(ValueError, match="k >= 1"):
-            lsa_cs(make_jobs([(0, 10, 4)]), 0)
+            lsa_cs(make_jobs([(0, 10, 4)]), k=0)
 
     def test_empty_jobset(self):
-        s = lsa_cs(make_jobs([]), 1)
+        s = lsa_cs(make_jobs([]), k=1)
         assert len(s) == 0
 
     def test_value_order_ablation(self):
         jobs = random_lax_jobs(30, 1, seed=4)
-        s = lsa_cs(jobs, 1, order="value")
+        s = lsa_cs(jobs, k=1, order="value")
         verify_schedule(s, k=1).assert_ok()

@@ -20,15 +20,15 @@ class TestIteratedAssignment:
         # Two identical conflicting jobs: one per machine.
         jobs = make_jobs([(0, 4, 4, 2.0), (0, 4, 4, 1.0)])
         mm = iterated_assignment(
-            jobs, 2, lambda js: edf_schedule(js, stop_on_miss=False).schedule
-            if js.n == 0 or True else None
+            jobs, lambda js: edf_schedule(js, stop_on_miss=False).schedule
+            if js.n == 0 or True else None, machines=2
         )
         # Use a cleaner algorithm below; here just check structure.
         assert mm.num_machines <= 2
 
     def test_no_job_on_two_machines(self):
         jobs = mixed_server_workload(20, seed=0)
-        mm = multimachine_k_bounded(jobs, 1, 3)
+        mm = multimachine_k_bounded(jobs, k=1, machines=3)
         ids = []
         for m in mm.machines:
             ids.extend(m.scheduled_ids)
@@ -36,26 +36,26 @@ class TestIteratedAssignment:
 
     def test_stops_early_when_jobs_exhausted(self):
         jobs = make_jobs([(0, 8, 4, 1.0)])
-        mm = multimachine_k_bounded(jobs, 1, 5)
+        mm = multimachine_k_bounded(jobs, k=1, machines=5)
         assert mm.num_machines <= 5
         assert mm.value == 1.0
 
     def test_machines_must_be_positive(self):
         jobs = make_jobs([(0, 8, 4)])
         with pytest.raises(ValueError):
-            iterated_assignment(jobs, 0, lambda js: edf_schedule(js).schedule)
+            iterated_assignment(jobs, lambda js: edf_schedule(js).schedule, machines=0)
 
 
 class TestMultimachineValue:
     def test_more_machines_never_lose_value(self):
         jobs = mixed_server_workload(30, seed=1)
-        vals = [multimachine_k_bounded(jobs, 2, m).value for m in (1, 2, 4)]
+        vals = [multimachine_k_bounded(jobs, k=2, machines=m).value for m in (1, 2, 4)]
         assert vals == sorted(vals)
 
     def test_replicated_chain_one_job_per_machine(self):
         base = geometric_chain(5)
         jobs = replicate_for_machines(base, 3)
-        mm = multimachine_nonpreemptive(jobs, 3)
+        mm = multimachine_nonpreemptive(jobs, machines=3)
         verify_multimachine(mm, k=0).assert_ok()
         # Each machine can fit at least one chain job; no machine fits two
         # of the same copy... value should be >= 3 (one per machine).
@@ -64,19 +64,19 @@ class TestMultimachineValue:
     def test_budget_respected_per_machine(self):
         jobs = mixed_server_workload(25, seed=2)
         for k in (1, 2):
-            mm = multimachine_k_bounded(jobs, k, 2)
+            mm = multimachine_k_bounded(jobs, k=k, machines=2)
             verify_multimachine(mm, k=k).assert_ok()
             assert mm.max_preemptions <= k
 
     def test_k0_multimachine(self):
         jobs = mixed_server_workload(20, seed=3)
-        mm = multimachine_nonpreemptive(jobs, 2)
+        mm = multimachine_nonpreemptive(jobs, machines=2)
         verify_multimachine(mm, k=0).assert_ok()
 
     def test_k_validation(self):
         jobs = make_jobs([(0, 8, 4)])
         with pytest.raises(ValueError):
-            multimachine_k_bounded(jobs, 0, 2)
+            multimachine_k_bounded(jobs, k=0, machines=2)
 
 
 class TestMergedForestReduction:
@@ -105,7 +105,7 @@ class TestMergedForestReduction:
 
         mm = self._two_machine_schedule()
         for k in (1, 2):
-            out = reduce_multimachine_schedule(mm, k)
+            out = reduce_multimachine_schedule(mm, k=k)
             verify_multimachine(out, k=k).assert_ok()
 
     def test_theorem_4_2_on_merged_n(self):
@@ -116,7 +116,7 @@ class TestMergedForestReduction:
         mm = self._two_machine_schedule()
         n = len(mm.scheduled_ids)
         for k in (1, 2):
-            out = reduce_multimachine_schedule(mm, k)
+            out = reduce_multimachine_schedule(mm, k=k)
             bound = math.log(n) / math.log(k + 1)
             assert out.value * bound >= mm.value * (1 - 1e-9)
 
@@ -128,7 +128,7 @@ class TestMergedForestReduction:
 
         mm = self._two_machine_schedule()
         k = 1
-        merged = reduce_multimachine_schedule(mm, k)
+        merged = reduce_multimachine_schedule(mm, k=k)
         separate = sum(
             reduce_schedule_to_k_preemptive(m, k).value for m in mm.machines if len(m)
         )
@@ -139,7 +139,7 @@ class TestMergedForestReduction:
 
         mm = self._two_machine_schedule()
         with pytest.raises(ValueError):
-            reduce_multimachine_schedule(mm, 0)
+            reduce_multimachine_schedule(mm, k=0)
 
     def test_empty_machines(self):
         from repro.core.multimachine import reduce_multimachine_schedule
@@ -148,23 +148,23 @@ class TestMergedForestReduction:
 
         jobs = make_jobs([(0, 8, 4)])
         mm = MM(jobs, [S(jobs, {}), S(jobs, {})])
-        out = reduce_multimachine_schedule(mm, 1)
+        out = reduce_multimachine_schedule(mm, k=1)
         assert out.value == 0
 
 
 class TestMultimachineOpt:
     def test_feasible_single_machine_takes_all(self, simple_jobs):
-        mm = multimachine_opt_infty(simple_jobs, 1)
+        mm = multimachine_opt_infty(simple_jobs, machines=1)
         assert mm.value == pytest.approx(simple_jobs.total_value)
 
     def test_two_machines_beat_one_on_overload(self):
         jobs = make_jobs([(0, 4, 4, 2.0), (0, 4, 4, 2.0)])
-        v1 = multimachine_opt_infty(jobs, 1).value
-        v2 = multimachine_opt_infty(jobs, 2).value
+        v1 = multimachine_opt_infty(jobs, machines=1).value
+        v2 = multimachine_opt_infty(jobs, machines=2).value
         assert v1 == pytest.approx(2.0)
         assert v2 == pytest.approx(4.0)
 
     def test_verifies(self):
         jobs = mixed_server_workload(20, seed=4)
-        mm = multimachine_opt_infty(jobs, 2)
+        mm = multimachine_opt_infty(jobs, machines=2)
         verify_multimachine(mm).assert_ok()

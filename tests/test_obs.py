@@ -1,0 +1,316 @@
+"""Observability layer tests: spans, counters, sinks, and the
+cross-process export/merge transport.
+
+The tracer's contracts, in the order the instrumented code relies on them:
+no tracer active → the module helpers are no-ops and instrumented solvers
+return identical results; tracer active → spans nest, counters add, every
+sink sees each span exactly once — including spans that closed in a
+``run_sweep`` worker process and reached the parent via export/merge.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    Span,
+    Tracer,
+    TreeSink,
+    count,
+    current_tracer,
+    gauge,
+    render_tree,
+    span,
+    traced,
+)
+from repro.obs.tracer import _NOOP
+
+
+# ---------------------------------------------------------------------------
+# core tracer behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_helpers_are_noops():
+    assert current_tracer() is None
+    assert span("anything", n=3) is _NOOP
+    with span("anything") as s:
+        assert s is None
+    count("never.recorded")
+    gauge("never.recorded", 42)
+    assert current_tracer() is None
+
+
+def test_span_nesting_and_timing():
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span("outer", n=2) as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b", flag=True):
+                pass
+    assert [r.name for r in tracer.roots] == ["outer"]
+    assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+    assert outer.attrs == {"n": 2}
+    assert outer.duration_ms is not None and outer.duration_ms >= 0
+    for child in outer.children:
+        assert child.duration_ms <= outer.duration_ms
+
+
+def test_span_closes_on_exception():
+    tracer = Tracer()
+    with tracer.activate():
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+    assert tracer.roots[0].duration_ms is not None
+    assert tracer.current_span is None
+
+
+def test_counters_and_gauges():
+    tracer = Tracer()
+    with tracer.activate():
+        count("hits")
+        count("hits", 2)
+        gauge("mode", "vectorized")
+        gauge("mode", "loop")  # last write wins
+    assert tracer.counters == {"hits": 3}
+    assert tracer.gauges == {"mode": "loop"}
+
+
+def test_activation_is_scoped():
+    tracer = Tracer()
+    assert current_tracer() is None
+    with tracer.activate():
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_traced_decorator():
+    @traced(kind="test")
+    def work(x):
+        return x * 2
+
+    assert work(3) == 6  # disabled: plain delegation
+    tracer = Tracer()
+    with tracer.activate():
+        assert work(4) == 8
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == work.__traced_span__
+    assert root.attrs == {"kind": "test"}
+
+
+def test_span_dict_round_trip():
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+    d = tracer.roots[0].to_dict()
+    clone = Span.from_dict(d)
+    assert clone.to_dict() == d
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+def _run_small_trace(sink):
+    tracer = Tracer(sinks=[sink])
+    with tracer.activate():
+        with tracer.span("root", n=2):
+            with tracer.span("leaf", i=0):
+                pass
+        tracer.count("work.done", 5)
+    tracer.flush()
+    return tracer
+
+
+def test_memory_sink():
+    sink = MemorySink()
+    _run_small_trace(sink)
+    assert [e["name"] for e in sink.span_events] == ["leaf", "root"]  # close order
+    assert sink.span_events[0]["path"] == "root/leaf"
+    assert sink.span_events[0]["depth"] == 1
+    (root_tree,) = sink.traces
+    assert root_tree["name"] == "root"
+    assert [c["name"] for c in root_tree["children"]] == ["leaf"]
+    (snapshot,) = sink.counter_snapshots
+    assert snapshot["counters"] == {"work.done": 5}
+
+
+def test_memory_sink_ring_buffer():
+    sink = MemorySink(maxlen=3)
+    tracer = Tracer(sinks=[sink])
+    with tracer.activate():
+        for i in range(10):
+            with tracer.span("s", i=i):
+                pass
+    events = sink.events
+    assert len(events) == 3
+    assert [e["attrs"]["i"] for e in events if e["ev"] == "span"][-1] == 9
+
+
+def test_jsonl_sink_stream():
+    buf = io.StringIO()
+    _run_small_trace(JsonlSink(buf))
+    lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+    assert [e["ev"] for e in lines] == ["span", "span", "counters"]
+    assert {e["name"] for e in lines if e["ev"] == "span"} == {"root", "leaf"}
+
+
+def test_jsonl_sink_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _run_small_trace(JsonlSink(str(path)))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 3 and lines[-1]["ev"] == "counters"
+
+
+def test_tree_sink_and_render(capsys):
+    _run_small_trace(TreeSink())
+    out = capsys.readouterr().out
+    assert "root" in out and "  leaf" in out and "[i=0]" in out
+
+
+def test_render_tree_max_depth():
+    root = {
+        "name": "a", "ms": 1.0, "attrs": {},
+        "children": [
+            {"name": "b", "ms": 0.5, "attrs": {},
+             "children": [{"name": "c", "ms": 0.1, "attrs": {}, "children": []}]}
+        ],
+    }
+    full = render_tree(root)
+    assert "c" in full.splitlines()[-1]
+    capped = render_tree(root, max_depth=1)
+    assert "… (+1 spans)" in capped and "c  0.100ms" not in capped
+
+
+# ---------------------------------------------------------------------------
+# export / merge — the process-pool transport
+# ---------------------------------------------------------------------------
+
+
+def test_export_merge_grafts_and_replays():
+    worker = Tracer()
+    with worker.activate():
+        with worker.span("sweep.cell", cell=0):
+            with worker.span("tm.solve", n=10):
+                pass
+        worker.count("tm.nodes", 10)
+        worker.gauge("tm.dispatch", "loop")
+    payload = json.loads(json.dumps(worker.export()))  # must survive real JSON
+
+    sink = MemorySink()
+    parent = Tracer(sinks=[sink])
+    with parent.activate():
+        with parent.span("sweep.run"):
+            parent.merge(payload)
+    root = parent.roots[0]
+    assert [c.name for c in root.children] == ["sweep.cell"]
+    assert root.children[0].children[0].name == "tm.solve"
+    assert parent.counters == {"tm.nodes": 10}
+    assert parent.gauges == {"tm.dispatch": "loop"}
+    merged = [e for e in sink.span_events if e.get("merged")]
+    assert {e["path"] for e in merged} == {
+        "sweep.run/sweep.cell",
+        "sweep.run/sweep.cell/tm.solve",
+    }
+
+
+def test_merge_counters_accumulate():
+    parent = Tracer()
+    parent.count("x", 1)
+    parent.merge({"counters": {"x": 2, "y": 3}})
+    assert parent.counters == {"x": 3, "y": 3}
+
+
+# ---------------------------------------------------------------------------
+# instrumented solvers — identical results with and without a tracer
+# ---------------------------------------------------------------------------
+
+
+def test_instrumentation_does_not_change_results():
+    from repro.core.bas.tm import tm_optimal_bas
+    from repro.core.reduction import reduce_schedule_to_k_preemptive
+    from repro.instances import random_jobs
+    from repro.instances.random_trees import random_forest
+    from repro.scheduling.exact import opt_infty_exact
+
+    forest = random_forest(300, seed=5)
+    jobs = random_jobs(12, seed=5)
+    plain_bas = tm_optimal_bas(forest, 2).retained
+    plain_opt = opt_infty_exact(jobs)
+    plain_red = reduce_schedule_to_k_preemptive(plain_opt, 2)
+
+    tracer = Tracer()
+    with tracer.activate():
+        traced_bas = tm_optimal_bas(forest, 2).retained
+        traced_opt = opt_infty_exact(jobs)
+        traced_red = reduce_schedule_to_k_preemptive(traced_opt, 2)
+    assert traced_bas == plain_bas
+    assert traced_opt.value == plain_opt.value
+    assert traced_red.value == plain_red.value
+    assert tracer.roots, "instrumented solvers produced no spans under a tracer"
+    names = {s.name for s in tracer.roots}
+    assert "tm.solve" in names and "reduce.pipeline" in names
+
+
+def test_run_sweep_worker_traces_merge_into_parent(tmp_path):
+    """The acceptance path: JSONL output from a 2-worker sweep merges into
+    the parent trace, and traced rows carry per-cell observability blocks."""
+    from repro.analysis.config import CELL_REGISTRY
+    from repro.analysis.sweep import Sweep, run_sweep
+
+    cell = CELL_REGISTRY["bas_loss_random"]
+    sweep = Sweep(axes={"n": [60, 80], "k": [1, 2]}, repeats=2)
+    path = tmp_path / "sweep.jsonl"
+    sink = MemorySink()
+    tracer = Tracer(sinks=[sink, JsonlSink(str(path))])
+    with tracer.activate():
+        results = run_sweep(sweep, cell, seed=11, workers=2)
+    tracer.flush()
+
+    # Parent trace: one sweep.run root with one grafted sweep.cell per cell,
+    # in deterministic cell order.
+    (root,) = tracer.roots
+    assert root.name == "sweep.run"
+    cell_spans = [c for c in root.children if c.name == "sweep.cell"]
+    assert len(cell_spans) == 4
+    assert [c.attrs["n"] for c in cell_spans] == [60, 60, 80, 80]
+    assert tracer.counters["sweep.cells_run"] == 4
+
+    # Rows carry the per-cell trace block; worker counters made it across.
+    for result in results:
+        assert result.trace is not None
+        assert result.trace["cell_wall_ms"] > 0
+        assert result.trace["counters"]
+
+    # The JSONL file saw every worker-side span exactly once.
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    merged_cells = [
+        e for e in lines if e.get("ev") == "span" and e["name"] == "sweep.cell"
+    ]
+    assert len(merged_cells) == 4
+    assert all(e.get("merged") for e in merged_cells)
+    assert all(e["path"].startswith("sweep.run/") for e in merged_cells)
+
+
+def test_run_sweep_traced_matches_untraced_metrics():
+    from repro.analysis.config import CELL_REGISTRY
+    from repro.analysis.sweep import Sweep, run_sweep
+
+    cell = CELL_REGISTRY["bas_loss_random"]
+    sweep = Sweep(axes={"n": [50], "k": [1, 2]}, repeats=2)
+    plain = run_sweep(sweep, cell, seed=3)
+    assert all(r.trace is None for r in plain)
+    tracer = Tracer()
+    with tracer.activate():
+        traced_run = run_sweep(sweep, cell, seed=3)
+    assert [r.metrics for r in traced_run] == [r.metrics for r in plain]
+    assert [r.params for r in traced_run] == [r.params for r in plain]

@@ -28,7 +28,7 @@ def lax_jobsets(draw, max_jobs: int = 12):
 @given(lax_jobsets())
 def test_lsa_output_feasible_within_budget(jk):
     jobs, k = jk
-    s = lsa(jobs, k)
+    s = lsa(jobs, k=k)
     verify_schedule(s, k=k).assert_ok()
 
 
@@ -37,7 +37,7 @@ def test_lsa_schedules_first_job_always(jk):
     # The densest job sees an empty machine and a window >= (k+1)p: it is
     # always accepted.
     jobs, k = jk
-    s = lsa(jobs, k)
+    s = lsa(jobs, k=k)
     first = jobs.sorted_by_density()[0]
     assert first.id in s
 
@@ -45,7 +45,7 @@ def test_lsa_schedules_first_job_always(jk):
 @given(lax_jobsets())
 def test_lsa_cs_feasible_and_at_least_best_class(jk):
     jobs, k = jk
-    best, per_class = lsa_cs(jobs, k, return_all_classes=True)
+    best, per_class = lsa_cs(jobs, k=k, return_all_classes=True)
     verify_schedule(best, k=k).assert_ok()
     assert best.value == max(s.value for s in per_class.values())
 
@@ -53,7 +53,7 @@ def test_lsa_cs_feasible_and_at_least_best_class(jk):
 @given(lax_jobsets())
 def test_lsa_cs_value_never_exceeds_total(jk):
     jobs, k = jk
-    s = lsa_cs(jobs, k)
+    s = lsa_cs(jobs, k=k)
     assert s.value <= jobs.total_value
 
 

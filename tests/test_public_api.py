@@ -12,11 +12,13 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.scheduling",
     "repro.core",
     "repro.core.bas",
     "repro.instances",
     "repro.analysis",
+    "repro.obs",
     "repro.utils",
 ]
 
