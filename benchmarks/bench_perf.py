@@ -67,9 +67,10 @@ def test_bench_perf_json(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     payload = run_bench(quick=True, out=str(out))
     on_disk = json.loads(out.read_text())
-    assert on_disk == payload
-    assert on_disk["schema"] == "repro-bench-perf/1"
-    ops = {r["op"] for r in on_disk["records"]}
+    assert on_disk["schema"] == "repro-bench-perf/2"
+    assert on_disk["runs"][-1] == payload
+    assert payload["schema"] == "repro-bench-perf/1"
+    ops = {r["op"] for r in payload["records"]}
     assert "tm_values_vectorized" in ops and any(o.startswith("run_sweep") for o in ops)
-    for rec in on_disk["records"]:
+    for rec in payload["records"]:
         assert rec["median_ms"] >= 0 and rec["p90_ms"] >= rec["median_ms"] * 0.999

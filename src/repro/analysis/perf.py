@@ -241,13 +241,62 @@ def bench_tracer_overhead(
 # driver
 # ---------------------------------------------------------------------------
 
+#: Per-run payload schema (what one ``run_bench`` call measures).
+RUN_SCHEMA = "repro-bench-perf/1"
+#: On-disk trajectory schema: ``{"schema": ..., "runs": [run, run, ...]}``.
+TRAJECTORY_SCHEMA = "repro-bench-perf/2"
+
+
+def _load_runs(path: str) -> List[dict]:
+    """Prior runs from a trajectory file, tolerating every legacy shape.
+
+    * missing, empty or unparseable file → no prior runs;
+    * a schema-1 payload (one bare run, the pre-trajectory format) →
+      migrated in place as the first run;
+    * a trajectory dict whose ``runs`` key is missing or malformed → treated
+      as empty rather than discarding the append (the bug this fixes:
+      such files used to leave the trajectory permanently empty);
+    * a well-formed trajectory → its runs.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(data, dict):
+        return []
+    runs = data.get("runs")
+    if isinstance(runs, list):
+        return [r for r in runs if isinstance(r, dict)]
+    if "records" in data:  # legacy schema-1 single-run payload
+        return [data]
+    return []
+
+
+def append_run(path: str, payload: dict) -> dict:
+    """Append one run to the trajectory at ``path`` and rewrite it.
+
+    Returns the full trajectory dict that was written.  The write is a
+    rewrite, not an in-place patch, so a corrupt file heals on the next
+    bench run instead of poisoning every subsequent append.
+    """
+    runs = _load_runs(path)
+    runs.append(payload)
+    trajectory = {"schema": TRAJECTORY_SCHEMA, "runs": runs}
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    return trajectory
+
 
 def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") -> dict:
-    """Run the suite, optionally write ``out``, return the payload dict.
+    """Run the suite, append to the ``out`` trajectory, return this run's payload.
 
     ``quick=True`` shrinks sizes/repeats for CI smoke runs (seconds, not
     minutes); the full run includes the n = 10^5 TM point the acceptance
-    trajectory tracks.
+    trajectory tracks.  ``out`` accumulates one entry in its ``runs`` list
+    per invocation (see :func:`append_run` for how legacy and damaged
+    files are absorbed).
     """
     if quick:
         records = (
@@ -266,14 +315,12 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_tracer_overhead()
         )
     payload = {
-        "schema": "repro-bench-perf/1",
+        "schema": RUN_SCHEMA,
         "quick": quick,
         "records": [asdict(r) for r in records],
     }
     if out:
-        with open(out, "w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
+        append_run(out, payload)
     return payload
 
 

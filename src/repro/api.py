@@ -17,6 +17,11 @@ one otherwise) and reports its observability block in
 dispatcher chose.  The names and signatures exported here are snapshot-
 tested (``tests/test_api.py``); changing them is an API break by
 definition.
+
+The facade is also a fuzz target: the differential correctness engine
+(:mod:`repro.check`, ``python -m repro.cli fuzz``) re-verifies every
+:class:`SolveResult` certificate and cross-checks the dispatcher against
+the exact solvers and price bounds — see ``docs/TESTING.md``.
 """
 
 from __future__ import annotations

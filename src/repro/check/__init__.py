@@ -1,0 +1,62 @@
+"""repro.check — the differential correctness engine.
+
+Every redundant computation path in the repository (vectorized vs loop TM,
+TM vs MILP, branch-and-bound vs Lawler DP, serial vs parallel sweeps, …)
+is registered as an **oracle pair** in :mod:`repro.check.oracles`;
+:func:`run_fuzz` streams seeded random instances through all of them,
+certificate-checks every artifact, and shrinks any disagreement to a
+minimal replayable counterexample.  ``repro fuzz`` is the CLI front end.
+
+Public surface::
+
+    from repro.check import (
+        ORACLES, run_fuzz, replay_counterexample, shrink_case,
+        Case, generate_case, case_to_dict, case_from_dict,
+    )
+
+Theorem-level invariants (segment budgets, OPT monotonicity, the
+geometric-chain price bound) live in :mod:`repro.check.invariants` and
+double as both fuzz oracles and direct test assertions.
+"""
+
+from repro.check.cases import (
+    DOMAINS,
+    Case,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+)
+from repro.check.engine import (
+    COUNTEREXAMPLE_SCHEMA,
+    Disagreement,
+    FuzzReport,
+    replay_counterexample,
+    run_fuzz,
+)
+from repro.check.oracles import (
+    ORACLES,
+    Oracle,
+    get_oracle,
+    oracles_for_domain,
+    register_oracle,
+)
+from repro.check.shrink import shrink_case
+
+__all__ = [
+    "Case",
+    "COUNTEREXAMPLE_SCHEMA",
+    "DOMAINS",
+    "Disagreement",
+    "FuzzReport",
+    "ORACLES",
+    "Oracle",
+    "case_from_dict",
+    "case_to_dict",
+    "generate_case",
+    "get_oracle",
+    "oracles_for_domain",
+    "register_oracle",
+    "replay_counterexample",
+    "run_fuzz",
+    "shrink_case",
+]

@@ -1,0 +1,167 @@
+"""Theorem-level invariant checks for the differential engine.
+
+Certificates (:func:`repro.scheduling.verify.verify_schedule` and friends)
+establish that an artifact is *feasible*; the checks here establish that a
+family of artifacts behaves the way the paper's theorems say it must:
+
+* the per-job segment budget (Definition 2.1(c)) — at most ``k + 1``
+  segments per accepted job;
+* monotonicity of the optimum in the preemption budget
+  (``OPT_0 <= OPT_1 <= ... <= OPT_∞``) and in the machine count;
+* the Section 5 geometric-chain bound: the realised ``k = 0`` price on
+  Figure 2's chain never exceeds ``min(n, 3 log_2 P)``.
+
+Every check returns ``None`` on success and a human-readable failure
+detail on violation, so they compose directly into fuzz oracles; the
+``assert_*`` wrappers raise for direct test use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.scheduling.job import JobSet
+from repro.scheduling.schedule import MultiMachineSchedule, Schedule
+
+__all__ = [
+    "check_segment_budget",
+    "check_opt_monotone_in_k",
+    "check_opt_monotone_in_machines",
+    "check_pobp0_geometric_chain",
+    "assert_invariant",
+]
+
+_REL_TOL = 1e-9
+
+
+def _leq(a, b) -> bool:
+    """``a <= b`` up to relative float noise (exact types compare exactly)."""
+    if isinstance(a, float) or isinstance(b, float):
+        return a <= b + _REL_TOL * max(1.0, abs(float(b)))
+    return a <= b
+
+
+def check_segment_budget(
+    schedule: Union[Schedule, MultiMachineSchedule], k: int
+) -> Optional[str]:
+    """Definition 2.1(c): every accepted job has at most ``k + 1`` segments."""
+    if isinstance(schedule, MultiMachineSchedule):
+        for m, single in enumerate(schedule.machines):
+            detail = check_segment_budget(single, k)
+            if detail is not None:
+                return f"machine {m}: {detail}"
+        return None
+    for job_id in schedule.scheduled_ids:
+        segs = len(schedule[job_id])
+        if segs > k + 1:
+            return (
+                f"job {job_id} uses {segs} segments, exceeding the "
+                f"k+1 = {k + 1} budget"
+            )
+    return None
+
+
+def check_opt_monotone_in_k(jobs: JobSet, ks: Sequence[int], *, max_slots: int = 40) -> Optional[str]:
+    """``OPT_k`` is nondecreasing in ``k`` and dominated by ``OPT_∞``.
+
+    Uses the exact unit-slot solver, so the instance must be tiny and
+    integral (the caller is responsible for sizing — see
+    :func:`repro.check.oracles._tiny_integral` for the fuzz derivation).
+    """
+    from repro.scheduling.exact import opt_infty_value, opt_k_exact_small
+
+    values = [opt_k_exact_small(jobs, k=k, max_slots=max_slots).value for k in ks]
+    for k_lo, k_hi, v_lo, v_hi in zip(ks, ks[1:], values, values[1:]):
+        if not _leq(v_lo, v_hi):
+            return (
+                f"OPT_k not monotone in k: OPT_{k_lo} = {v_lo} > "
+                f"OPT_{k_hi} = {v_hi} on {jobs!r}"
+            )
+    opt_inf = opt_infty_value(jobs)
+    if not _leq(values[-1], opt_inf):
+        return (
+            f"OPT_{ks[-1]} = {values[-1]} exceeds OPT_∞ = {opt_inf} on {jobs!r}"
+        )
+    return None
+
+
+def check_opt_monotone_in_machines(
+    jobs: JobSet, k: int, machine_counts: Sequence[int]
+) -> Optional[str]:
+    """More machines never lose value, for the pipeline and the benchmark.
+
+    Monotonicity holds by construction of the iterated assignment (machine
+    ``m + 1`` starts from the machine-``m`` prefix); a regression here means
+    the assignment stopped being an extension.  Note the two trajectories
+    are *not* comparable to each other beyond ``m = 1``: the benchmark is an
+    iterated greedy, and a k-bounded machine that keeps less can leave
+    better residuals for its successors.  The only sound cross-comparison
+    is against the exact single-machine ``OPT_∞`` at ``m = 1``.
+    """
+    from repro.core.multimachine import multimachine_k_bounded, multimachine_opt_infty
+    from repro.scheduling.exact import opt_infty_value
+
+    prev_alg = prev_opt = None
+    for m in machine_counts:
+        alg = multimachine_k_bounded(jobs, k=k, machines=m).value
+        opt = multimachine_opt_infty(jobs, machines=m).value
+        if prev_alg is not None and not _leq(prev_alg, alg):
+            return (
+                f"pipeline value dropped when adding machines: "
+                f"{prev_alg} (m={prev_m}) > {alg} (m={m})"
+            )
+        if prev_opt is not None and not _leq(prev_opt, opt):
+            return (
+                f"benchmark value dropped when adding machines: "
+                f"{prev_opt} (m={prev_m}) > {opt} (m={m})"
+            )
+        if m == 1 and not _leq(alg, opt_infty_value(jobs)):
+            return (
+                f"single-machine pipeline value {alg} exceeds exact "
+                f"OPT_∞ {opt_infty_value(jobs)}"
+            )
+        prev_alg, prev_opt, prev_m = alg, opt, m
+    return None
+
+
+def check_pobp0_geometric_chain(n: int) -> Optional[str]:
+    """Section 5 on Figure 2: realised ``k = 0`` price within ``min(n, 3 log_2 P)``.
+
+    The chain's ``OPT_∞`` is all ``n`` jobs (one preemption suffices to fit
+    everything); the non-preemptive combined algorithm must keep at least a
+    ``1 / min(n, 3 log_2 P)`` fraction of it.
+    """
+    from repro.core.nonpreemptive import nonpreemptive_combined
+    from repro.core.pricing import price_bound_k0
+    from repro.instances.lower_bounds import (
+        geometric_chain,
+        geometric_chain_one_preemption_schedule,
+    )
+    from repro.scheduling.verify import verify_schedule
+
+    jobs = geometric_chain(n)
+    witness = geometric_chain_one_preemption_schedule(n)
+    rep = verify_schedule(witness, k=1)
+    if not rep.feasible:
+        return f"chain witness schedule infeasible: {rep.violations[:3]}"
+    opt = witness.value
+    sched = nonpreemptive_combined(jobs)
+    rep = verify_schedule(sched, k=0)
+    if not rep.feasible:
+        return f"k=0 schedule on the chain infeasible: {rep.violations[:3]}"
+    if sched.value <= 0:
+        return "k=0 schedule on the chain kept no value"
+    price = opt / sched.value
+    bound = price_bound_k0(jobs.n, jobs.length_ratio)
+    if price > bound * (1 + _REL_TOL):
+        return (
+            f"geometric chain n={n}: realised k=0 price {price} exceeds "
+            f"the Section 5 bound {bound}"
+        )
+    return None
+
+
+def assert_invariant(detail: Optional[str]) -> None:
+    """Raise ``AssertionError`` when a check returned a violation detail."""
+    if detail is not None:
+        raise AssertionError(detail)

@@ -1,0 +1,483 @@
+"""The oracle-pair registry: every redundant computation path, cross-checked.
+
+The repository deliberately computes the same quantities through multiple
+engines — a vectorized TM kernel next to the reference loop, a MILP next
+to the dynamic program, a Lawler DP next to branch-and-bound, a process
+pool next to a serial loop.  Each redundancy is registered here as an
+**oracle**: a pure function from a fuzz :class:`~repro.check.cases.Case`
+to ``None`` (agreement) or a failure detail string (disagreement).
+
+Conventions:
+
+* oracles are deterministic — everything they need is derived from the
+  case payload and params, never from ambient randomness;
+* oracles that need a restricted input regime (unit lengths, lax jobs,
+  tiny horizons) **derive** that regime from the case payload with a
+  deterministic transform instead of skipping, so every oracle sees every
+  case and per-oracle fuzz counts stay uniform;
+* every artifact an oracle produces is certificate-checked
+  (:func:`verify_schedule` / :func:`verify_bas` / :func:`verify_multimachine`)
+  before its value is compared — a disagreement between two infeasible
+  answers proves nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.check.cases import Case
+from repro.scheduling.job import Job, JobSet
+
+__all__ = ["Oracle", "ORACLES", "register_oracle", "oracles_for_domain", "get_oracle"]
+
+#: Relative tolerance for comparisons where one side went through floats
+#: (the MILP's objective); integral cross-checks compare exactly.
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One registered differential check."""
+
+    name: str
+    domain: str
+    description: str
+    check: Callable[[Case], Optional[str]]
+
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def register_oracle(name: str, domain: str, description: str):
+    """Decorator registering a check function under a unique oracle name."""
+
+    def deco(fn: Callable[[Case], Optional[str]]) -> Callable[[Case], Optional[str]]:
+        if name in ORACLES:
+            raise ValueError(f"oracle {name!r} already registered")
+        ORACLES[name] = Oracle(name=name, domain=domain, description=description, check=fn)
+        return fn
+
+    return deco
+
+
+def oracles_for_domain(domain: str) -> List[Oracle]:
+    return [o for o in ORACLES.values() if o.domain == domain]
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return ORACLES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle {name!r}; registered: {sorted(ORACLES)}"
+        ) from None
+
+
+def _close(a, b) -> bool:
+    a_f, b_f = float(a), float(b)
+    return abs(a_f - b_f) <= _REL_TOL * max(1.0, abs(a_f), abs(b_f))
+
+
+# ---------------------------------------------------------------------------
+# jobs-domain oracles
+# ---------------------------------------------------------------------------
+
+
+@register_oracle(
+    "pipeline-certificates",
+    "jobs",
+    "schedule_k_bounded output is feasible, k-bounded, and never beats OPT_∞",
+)
+def _pipeline_certificates(case: Case) -> Optional[str]:
+    from repro.check.invariants import check_segment_budget
+    from repro.core.combined import schedule_k_bounded
+    from repro.scheduling.exact import opt_infty_value
+    from repro.scheduling.verify import verify_schedule
+
+    jobs, k = case.payload, case.params["k"]
+    sched = schedule_k_bounded(jobs, k)
+    rep = verify_schedule(sched, k=k)
+    if not rep.feasible:
+        return f"pipeline schedule infeasible (k={k}): {rep.violations[:3]}"
+    detail = check_segment_budget(sched, k)
+    if detail is not None:
+        return detail
+    opt = opt_infty_value(jobs)
+    if float(sched.value) > float(opt) * (1 + _REL_TOL):
+        return f"pipeline value {sched.value} exceeds OPT_∞ = {opt} (k={k})"
+    return None
+
+
+@register_oracle(
+    "opt-exact-vs-lawler-dp",
+    "jobs",
+    "branch-and-bound OPT_∞ equals the Lawler-style Pareto DP",
+)
+def _opt_exact_vs_lawler_dp(case: Case) -> Optional[str]:
+    from repro.scheduling.exact import opt_infty_exact, opt_infty_value
+    from repro.scheduling.lawler_dp import lawler_optimal_value
+    from repro.scheduling.verify import verify_schedule
+
+    jobs = case.payload
+    bb = opt_infty_value(jobs)
+    dp = lawler_optimal_value(jobs)
+    if bb != dp:
+        return f"OPT_∞ disagreement: branch-and-bound {bb} vs Lawler DP {dp}"
+    sched = opt_infty_exact(jobs)
+    rep = verify_schedule(sched)
+    if not rep.feasible:
+        return f"opt_infty_exact schedule infeasible: {rep.violations[:3]}"
+    if sched.value != bb:
+        return (
+            f"opt_infty_exact schedule value {sched.value} != reported "
+            f"optimum {bb} (the PR-2 divergence class)"
+        )
+    return None
+
+
+def _as_unit_instance(jobs: JobSet) -> JobSet:
+    """Deterministic unit-length derivation of a case's job set.
+
+    Keeps each job's integral release and value, snaps the length to 1 and
+    the deadline to an integral window of at least 1 — Baptiste's
+    equal-length regime, where preemption is provably irrelevant.
+    """
+    return JobSet(
+        Job(j.id, int(j.release), int(j.release) + max(1, int(j.deadline - j.release)), 1, j.value)
+        for j in jobs
+    )
+
+
+@register_oracle(
+    "opt-exact-vs-unit-matching",
+    "jobs",
+    "on unit-length derivations, assignment matching equals OPT_∞ (OPT_k = OPT_∞)",
+)
+def _opt_exact_vs_unit_matching(case: Case) -> Optional[str]:
+    from repro.scheduling.exact import opt_infty_value
+    from repro.scheduling.unit_jobs import unit_jobs_optimal
+    from repro.scheduling.verify import verify_schedule
+
+    unit = _as_unit_instance(case.payload)
+    matched = unit_jobs_optimal(unit)
+    rep = verify_schedule(matched, k=0)
+    if not rep.feasible:
+        return f"unit matching schedule infeasible: {rep.violations[:3]}"
+    bb = opt_infty_value(unit)
+    if matched.value != bb:
+        return (
+            f"unit-length disagreement: matching {matched.value} vs "
+            f"branch-and-bound OPT_∞ {bb}"
+        )
+    return None
+
+
+@register_oracle(
+    "combined-within-price-bound",
+    "jobs",
+    "facade solve keeps OPT_∞ / ALG_k within the Theorem 4.2/4.5 ceiling",
+)
+def _combined_within_price_bound(case: Case) -> Optional[str]:
+    from repro.api import solve_k_bounded
+    from repro.core.pricing import measured_price
+    from repro.scheduling.exact import opt_infty_value
+    from repro.scheduling.verify import verify_schedule
+
+    jobs, k = case.payload, case.params["k"]
+    result = solve_k_bounded(jobs, k)
+    rep = verify_schedule(result.schedule, k=k)
+    if not rep.feasible:
+        return f"facade schedule infeasible (k={k}): {rep.violations[:3]}"
+    if "wall_ms" not in result.metrics:
+        return "facade result lost its observability block (no wall_ms metric)"
+    if result.value <= 0:
+        return f"facade solve kept no value on a non-empty instance (k={k})"
+    opt = opt_infty_value(jobs)
+    measurement = measured_price(opt, result.value, n=jobs.n, P=jobs.length_ratio, k=k)
+    if not measurement.within_bound:
+        return (
+            f"price {measurement.price:.6f} exceeds the theorem ceiling "
+            f"{measurement.bound:.6f} (n={jobs.n}, P={float(jobs.length_ratio):.3f}, k={k})"
+        )
+    return None
+
+
+def _as_lax_instance(jobs: JobSet, k: int) -> JobSet:
+    """Deterministic lax derivation: widen each window to ``λ >= k + 1``.
+
+    Releases, lengths and values are kept; only deadlines move (rightward),
+    so the derivation stays integral and never invalidates a job.
+    """
+    out = []
+    for j in jobs:
+        window = max(int(j.deadline - j.release), (k + 1) * int(j.length))
+        out.append(Job(j.id, int(j.release), int(j.release) + window, int(j.length), j.value))
+    return JobSet(out)
+
+
+@register_oracle(
+    "lsa-within-class-bound",
+    "jobs",
+    "LSA_CS on lax derivations is within 6·log_{k+1}P of OPT_∞ (Lemma 4.10)",
+)
+def _lsa_within_class_bound(case: Case) -> Optional[str]:
+    from repro.core.lsa import lsa_cs
+    from repro.core.pricing import price_bound_P
+    from repro.scheduling.exact import opt_infty_value
+    from repro.scheduling.verify import verify_schedule
+
+    k = case.params["k"]
+    lax = _as_lax_instance(case.payload, k)
+    sched = lsa_cs(lax, k=k)
+    rep = verify_schedule(sched, k=k)
+    if not rep.feasible:
+        return f"LSA_CS schedule infeasible (k={k}): {rep.violations[:3]}"
+    if sched.value <= 0:
+        return f"LSA_CS kept no value on a non-empty lax instance (k={k})"
+    opt = opt_infty_value(lax)
+    bound = price_bound_P(lax.length_ratio, k)
+    if float(opt) > float(sched.value) * bound * (1 + _REL_TOL):
+        return (
+            f"LSA_CS value {sched.value} below the Lemma 4.10 guarantee: "
+            f"OPT_∞ = {opt}, bound {bound:.6f} (k={k}, P={float(lax.length_ratio):.3f})"
+        )
+    return None
+
+
+@register_oracle(
+    "schedule-forest-tm-vs-milp",
+    "jobs",
+    "on the instance's schedule forest, procedure TM equals the MILP k-BAS",
+)
+def _schedule_forest_tm_vs_milp(case: Case) -> Optional[str]:
+    from repro.core.bas.milp import kbas_milp_value
+    from repro.core.bas.tm import tm_optimal_bas, tm_optimal_value
+    from repro.core.bas.verify import verify_bas
+    from repro.core.reduction import schedule_to_forest
+    from repro.scheduling.edf import edf_accept_max_subset
+
+    jobs, k = case.payload, case.params["k"]
+    sched = edf_accept_max_subset(jobs)
+    if len(sched) == 0:
+        return None  # nothing admitted: the forest is empty, trivially agreed
+    forest, _node_to_job = schedule_to_forest(sched)
+    tm_value = tm_optimal_value(forest, k)
+    milp_value = kbas_milp_value(forest, k)
+    if not _close(tm_value, milp_value):
+        return (
+            f"k-BAS disagreement on the schedule forest: TM {tm_value} vs "
+            f"MILP {milp_value} (k={k}, nodes={forest.n})"
+        )
+    bas = tm_optimal_bas(forest, k)
+    rep = verify_bas(bas, k)
+    if not rep.valid:
+        return f"TM k-BAS certificate failed: {rep.violations[:3]}"
+    if not _close(bas.value, tm_value):
+        return (
+            f"TM replay inconsistency: materialised k-BAS value {bas.value} "
+            f"vs aggregate optimum {tm_value} (k={k})"
+        )
+    return None
+
+
+def _tiny_integral(jobs: JobSet) -> JobSet:
+    """Deterministic shrink of a case payload into ``opt_k_exact_small`` range.
+
+    At most 4 jobs, releases folded into [0, 6), lengths into [1, 3],
+    slacks into [0, 4) — horizon <= 12, well inside the unit-slot DFS
+    budget while preserving the case's relative structure.
+    """
+    out = []
+    for j in list(jobs)[:4]:
+        r = int(j.release) % 6
+        p = 1 + (int(j.length) - 1) % 3
+        slack = int(j.deadline - j.release - j.length) % 4
+        out.append(Job(j.id, r, r + p + slack, p, j.value))
+    return JobSet(out)
+
+
+@register_oracle(
+    "opt-monotone-in-k",
+    "jobs",
+    "exact OPT_k is nondecreasing in k and dominated by OPT_∞ (tiny derivation)",
+)
+def _opt_monotone_in_k(case: Case) -> Optional[str]:
+    from repro.check.invariants import check_opt_monotone_in_k
+
+    tiny = _tiny_integral(case.payload)
+    return check_opt_monotone_in_k(tiny, ks=(0, 1, 2), max_slots=16)
+
+
+@register_oracle(
+    "multimachine-monotone",
+    "jobs",
+    "machines are monotone: more machines never lose pipeline or OPT_∞ value",
+)
+def _multimachine_monotone(case: Case) -> Optional[str]:
+    from repro.check.invariants import check_opt_monotone_in_machines
+    from repro.core.multimachine import multimachine_k_bounded
+    from repro.scheduling.verify import verify_multimachine
+
+    jobs, k = case.payload, case.params["k"]
+    machines = max(2, case.params.get("machines", 2))
+    mm = multimachine_k_bounded(jobs, k=k, machines=machines)
+    rep = verify_multimachine(mm, k)
+    if not rep.feasible:
+        return f"multi-machine schedule infeasible (k={k}, m={machines}): {rep.violations[:3]}"
+    return check_opt_monotone_in_machines(jobs, k, machine_counts=(1, machines))
+
+
+@register_oracle(
+    "solve-deterministic",
+    "jobs",
+    "the same instance solved twice yields byte-identical schedules",
+)
+def _solve_deterministic(case: Case) -> Optional[str]:
+    import json
+
+    from repro.core.combined import schedule_k_bounded
+    from repro.scheduling.io import schedule_to_dict
+
+    jobs, k = case.payload, case.params["k"]
+    first = json.dumps(schedule_to_dict(schedule_k_bounded(jobs, k)), sort_keys=True)
+    second = json.dumps(schedule_to_dict(schedule_k_bounded(jobs, k)), sort_keys=True)
+    if first != second:
+        return f"nondeterministic pipeline output (k={k}): runs differ"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# forest-domain oracles
+# ---------------------------------------------------------------------------
+
+
+@register_oracle(
+    "tm-loop-vs-vectorized",
+    "forest",
+    "reference TM loop and vectorized CSR kernel agree on every t/m aggregate",
+)
+def _tm_loop_vs_vectorized(case: Case) -> Optional[str]:
+    from repro.core.bas.tm import tm_values, tm_values_vectorized
+
+    forest, k = case.payload, case.params["k"]
+    t_loop, m_loop = tm_values(forest, k)
+    t_vec, m_vec = tm_values_vectorized(forest, k)
+    for v in range(forest.n):
+        if t_loop[v] != t_vec[v] or m_loop[v] != m_vec[v]:
+            return (
+                f"TM engines disagree at node {v} (k={k}): loop "
+                f"(t={t_loop[v]}, m={m_loop[v]}) vs vectorized "
+                f"(t={t_vec[v]}, m={m_vec[v]})"
+            )
+    return None
+
+
+@register_oracle(
+    "tm-vs-milp",
+    "forest",
+    "procedure TM's optimal k-BAS value equals the independent MILP",
+)
+def _tm_vs_milp(case: Case) -> Optional[str]:
+    from repro.core.bas.milp import kbas_milp_value
+    from repro.core.bas.tm import tm_optimal_value
+
+    forest, k = case.payload, case.params["k"]
+    tm_value = tm_optimal_value(forest, k)
+    milp_value = kbas_milp_value(forest, k)
+    if not _close(tm_value, milp_value):
+        return (
+            f"k-BAS optimum disagreement (k={k}, nodes={forest.n}): "
+            f"TM {tm_value} vs MILP {milp_value}"
+        )
+    return None
+
+
+@register_oracle(
+    "tm-replay-certified",
+    "forest",
+    "TM's materialised k-BAS is a valid certificate matching its aggregate value",
+)
+def _tm_replay_certified(case: Case) -> Optional[str]:
+    from repro.core.bas.tm import tm_optimal_bas, tm_optimal_value
+    from repro.core.bas.verify import verify_bas
+
+    forest, k = case.payload, case.params["k"]
+    bas = tm_optimal_bas(forest, k)
+    rep = verify_bas(bas, k)
+    if not rep.valid:
+        return f"TM k-BAS certificate failed (k={k}): {rep.violations[:3]}"
+    value = tm_optimal_value(forest, k)
+    if bas.value != value:
+        return (
+            f"TM replay inconsistency (k={k}): materialised {bas.value} vs "
+            f"aggregate {value}"
+        )
+    again = tm_optimal_bas(forest, k)
+    if sorted(again.retained) != sorted(bas.retained):
+        return f"TM materialisation nondeterministic (k={k}): retained sets differ"
+    return None
+
+
+@register_oracle(
+    "contraction-within-loss-bound",
+    "forest",
+    "LevelledContraction is valid, dominated by TM, and within Theorem 3.9's loss",
+)
+def _contraction_within_loss_bound(case: Case) -> Optional[str]:
+    from repro.core.bas.bounds import bas_loss_bound
+    from repro.core.bas.contraction import levelled_contraction
+    from repro.core.bas.tm import tm_optimal_value
+    from repro.core.bas.verify import verify_bas
+
+    forest, k = case.payload, case.params["k"]
+    lc = levelled_contraction(forest, k).best_subforest()
+    rep = verify_bas(lc, k)
+    if not rep.valid:
+        return f"contraction k-BAS certificate failed (k={k}): {rep.violations[:3]}"
+    tm_value = tm_optimal_value(forest, k)
+    if float(lc.value) > float(tm_value) * (1 + _REL_TOL):
+        return (
+            f"contraction beat the optimal DP (k={k}): LC {lc.value} vs TM {tm_value}"
+        )
+    bound = bas_loss_bound(forest.n, k)
+    if float(tm_value) * bound < float(forest.total_value) * (1 - _REL_TOL):
+        return (
+            f"Theorem 3.9 violated (k={k}): TM value {tm_value} times bound "
+            f"{bound:.6f} below total value {forest.total_value}"
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# sweep-domain oracles
+# ---------------------------------------------------------------------------
+
+
+@register_oracle(
+    "sweep-serial-vs-parallel",
+    "sweep",
+    "run_sweep rows are bit-identical between serial and process execution",
+)
+def _sweep_serial_vs_parallel(case: Case) -> Optional[str]:
+    from repro.analysis.config import CELL_REGISTRY
+    from repro.analysis.sweep import Sweep, run_sweep
+
+    spec = case.payload
+    cell = CELL_REGISTRY[spec["cell"]]
+    sweep = Sweep(axes=spec["axes"], repeats=spec["repeats"])
+    serial = run_sweep(sweep, cell, seed=spec["seed"], workers=1)
+    parallel = run_sweep(
+        sweep, cell, seed=spec["seed"], workers=case.params.get("workers", 2)
+    )
+    # The bit-identical contract covers (params, metrics); the optional
+    # ``trace`` block carries wall times and is legitimately run-dependent.
+    if len(serial) != len(parallel):
+        return "sweep result lists differ in length"
+    for row_s, row_p in zip(serial, parallel):
+        if row_s.params != row_p.params or row_s.metrics != row_p.metrics:
+            return (
+                f"sweep rows diverge at params {row_s.params}: "
+                f"serial {row_s.metrics} vs parallel {row_p.metrics}"
+            )
+    return None

@@ -1,0 +1,209 @@
+"""Counterexample shrinking: reduce a failing case to a minimal repro.
+
+A ddmin-flavoured greedy reducer.  Given a failing :class:`Case` and the
+predicate that made it fail (an oracle's ``check``), it tries structural
+deletions first (drop jobs / drop subtrees — the moves that shrink the
+search space fastest), then coordinate simplifications (snap values to 1,
+slacks to 0, releases to 0), keeping each candidate only if it *still
+fails the same oracle*.  The result is locally minimal: no single
+remaining deletion or simplification preserves the failure.
+
+Shrinking is bounded by an evaluation budget rather than wall clock so it
+stays deterministic; every candidate evaluation is a fresh solver run,
+which for the small fuzz cases is milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.cases import Case
+from repro.core.bas.forest import Forest
+from repro.scheduling.job import Job, JobSet
+
+__all__ = ["shrink_case"]
+
+#: Hard cap on predicate evaluations per shrink — keeps a pathological
+#: oracle from turning one counterexample into an unbounded bill.
+_MAX_EVALS = 400
+
+
+def _with_jobs(case: Case, jobs: List[Job]) -> Case:
+    return Case(case.domain, JobSet(jobs), dict(case.params))
+
+
+def _with_forest(case: Case, parents: List[int], values: List) -> Case:
+    return Case(case.domain, Forest(parents, values), dict(case.params))
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.left = limit
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _still_fails(
+    predicate: Callable[[Case], bool], case: Case, budget: _Budget
+) -> bool:
+    if not budget.spend():
+        return False
+    try:
+        return predicate(case)
+    except Exception:
+        # A candidate that crashes the oracle is a *different* bug; treat
+        # it as not reproducing this one so the shrink stays on target.
+        return False
+
+
+# ---------------------------------------------------------------------------
+# jobs domain
+# ---------------------------------------------------------------------------
+
+
+def _ddmin_jobs(
+    case: Case, predicate: Callable[[Case], bool], budget: _Budget
+) -> Case:
+    """Classic ddmin over the job list: chunked deletion to a 1-minimal set."""
+    jobs = list(case.payload)
+    chunk = max(1, len(jobs) // 2)
+    while chunk >= 1:
+        i, shrunk = 0, False
+        while i < len(jobs) and len(jobs) > 1:
+            candidate = jobs[:i] + jobs[i + chunk :]
+            if candidate and _still_fails(
+                predicate, _with_jobs(case, candidate), budget
+            ):
+                jobs = candidate
+                shrunk = True
+            else:
+                i += chunk
+        if chunk == 1 and not shrunk:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if shrunk else 0)
+    return _with_jobs(case, jobs)
+
+
+def _simplify_jobs(
+    case: Case, predicate: Callable[[Case], bool], budget: _Budget
+) -> Case:
+    """Per-coordinate simplification: each move is kept only if still failing."""
+    jobs = list(case.payload)
+    moves = (
+        lambda j: Job(j.id, j.release, j.deadline, j.length, 1),        # value -> 1
+        lambda j: Job(j.id, j.release, j.release + j.length, j.length, j.value),  # slack -> 0
+        lambda j: Job(j.id, 0, j.deadline - j.release, j.length, j.value),  # release -> 0
+        lambda j: Job(j.id, j.release, j.deadline, 1, j.value),         # length -> 1
+    )
+    # Moves interact (shrinking length re-opens slack), so sweep to fixpoint.
+    progress = True
+    while progress:
+        progress = False
+        for idx in range(len(jobs)):
+            for move in moves:
+                # Re-read the current job each move: earlier accepted moves
+                # must compose, not be clobbered by stale coordinates.
+                j = jobs[idx]
+                replacement = move(j)
+                if replacement == j:
+                    continue
+                candidate = jobs[:idx] + [replacement] + jobs[idx + 1 :]
+                if _still_fails(predicate, _with_jobs(case, candidate), budget):
+                    jobs = candidate
+                    progress = True
+    return _with_jobs(case, jobs)
+
+
+# ---------------------------------------------------------------------------
+# forest domain
+# ---------------------------------------------------------------------------
+
+
+def _forest_drop_subtree(forest: Forest, victim: int) -> Optional[Tuple[List[int], List]]:
+    """Parents/values arrays with ``victim``'s whole subtree removed."""
+    doomed = {victim}
+    # parents[] is topologically ordered in our generator (parent < child),
+    # but recompute transitively to stay shape-agnostic.
+    changed = True
+    while changed:
+        changed = False
+        for v in range(forest.n):
+            if v not in doomed and forest.parent(v) in doomed:
+                doomed.add(v)
+                changed = True
+    keep = [v for v in range(forest.n) if v not in doomed]
+    if not keep:
+        return None
+    remap = {old: new for new, old in enumerate(keep)}
+    parents = [
+        remap[forest.parent(v)] if forest.parent(v) in remap else -1 for v in keep
+    ]
+    values = [forest.value(v) for v in keep]
+    return parents, values
+
+
+def _shrink_forest(
+    case: Case, predicate: Callable[[Case], bool], budget: _Budget
+) -> Case:
+    # Pass 1: drop whole subtrees, deepest-last so big prunes are tried first.
+    progress = True
+    while progress:
+        progress = False
+        forest: Forest = case.payload
+        for victim in range(forest.n):
+            dropped = _forest_drop_subtree(forest, victim)
+            if dropped is None:
+                continue
+            candidate = _with_forest(case, *dropped)
+            if _still_fails(predicate, candidate, budget):
+                case = candidate
+                progress = True
+                break
+    # Pass 2: snap values to 1 where the failure survives it.
+    forest = case.payload
+    values = [forest.value(v) for v in range(forest.n)]
+    parents = [forest.parent(v) for v in range(forest.n)]
+    for v in range(len(values)):
+        if values[v] == 1:
+            continue
+        candidate_values = values[:v] + [1] + values[v + 1 :]
+        candidate = _with_forest(case, parents, candidate_values)
+        if _still_fails(predicate, candidate, budget):
+            values = candidate_values
+            case = candidate
+    return case
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def shrink_case(
+    case: Case,
+    predicate: Callable[[Case], bool],
+    *,
+    max_evals: int = _MAX_EVALS,
+) -> Case:
+    """Greedily minimise ``case`` subject to ``predicate(case) == True``.
+
+    ``predicate`` must be True for the input case (the caller observed the
+    failure); the return value is a case for which it is still True, no
+    larger than the input, and 1-minimal under the move set unless the
+    evaluation budget ran out first.
+    """
+    budget = _Budget(max_evals)
+    if case.domain == "jobs":
+        case = _ddmin_jobs(case, predicate, budget)
+        case = _simplify_jobs(case, predicate, budget)
+        # Simplification can unlock further deletion (and vice versa); one
+        # more round each is cheap and usually reaches the fixpoint.
+        case = _ddmin_jobs(case, predicate, budget)
+        return case
+    if case.domain == "forest":
+        return _shrink_forest(case, predicate, budget)
+    return case  # sweep specs are already minimal (2 cells)

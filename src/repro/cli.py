@@ -7,6 +7,7 @@ Subcommands::
     repro-bench all [--markdown] [--workers N]  # the whole suite, optionally parallel
     repro-bench bench [--quick]      # time the hot kernels, write BENCH_perf.json
     repro-bench trace e4 [--jsonl f] # run traced, print the span tree
+    repro-bench fuzz [--smoke]       # differential fuzzing across all oracle pairs
     repro-bench demo                 # 20-line end-to-end tour
 
 Every experiment re-asserts its paper bound while running, so a clean exit
@@ -142,6 +143,69 @@ def _cmd_trace(name: str, jsonl: Optional[str], max_depth: Optional[int]) -> int
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """``repro fuzz``: the differential engine's CLI front end.
+
+    Exit status is the contract CI relies on: 0 when every oracle agreed on
+    every case (and every replayed counterexample stayed fixed), 1 on any
+    disagreement or still-reproducing replay.
+    """
+    from repro.check import ORACLES, replay_counterexample, run_fuzz
+
+    if args.list_oracles:
+        width = max(len(name) for name in ORACLES)
+        for name in sorted(ORACLES):
+            o = ORACLES[name]
+            print(f"{name.ljust(width)}  [{o.domain}] {o.description}")
+        return 0
+
+    if args.replay:
+        rc = 0
+        for path in args.replay:
+            detail = replay_counterexample(path)
+            if detail is None:
+                print(f"{path}: no longer reproduces")
+            else:
+                print(f"{path}: STILL FAILING — {detail}")
+                rc = 1
+        return rc
+
+    instances = 200 if args.smoke else args.instances
+    fault_cm = None
+    if args.inject_fault:
+        from repro.utils import faults
+
+        fault_cm = faults.inject(args.inject_fault)
+        fault_cm.__enter__()
+    tracer_cm = None
+    if args.trace:
+        from repro.obs.sinks import MemorySink
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(sinks=[MemorySink()])
+        tracer_cm = tracer.activate()
+        tracer_cm.__enter__()
+    try:
+        report = run_fuzz(
+            seed=args.seed,
+            instances=instances,
+            oracle_names=args.oracle or None,
+            shrink=not args.no_shrink,
+            out_dir=args.out,
+        )
+    finally:
+        if tracer_cm is not None:
+            tracer_cm.__exit__(None, None, None)
+            print("counters:")
+            for cname in sorted(tracer.counters):
+                print(f"  {cname} = {tracer.counters[cname]}")
+            print()
+        if fault_cm is not None:
+            fault_cm.__exit__(None, None, None)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -191,6 +255,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-depth", type=int, default=None,
         help="collapse the printed tree below this depth",
     )
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing: seeded instances through every oracle pair"
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0, help="root RNG seed (default: 0)")
+    fuzz_p.add_argument(
+        "--instances", type=int, default=100,
+        help="cases per domain — every oracle sees this many (default: 100)",
+    )
+    fuzz_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: 200 instances per domain (the acceptance floor)",
+    )
+    fuzz_p.add_argument(
+        "--oracle", action="append", metavar="NAME",
+        help="restrict to named oracles (repeatable; see --list-oracles)",
+    )
+    fuzz_p.add_argument(
+        "--out", default="fuzz_failures",
+        help="directory for shrunk counterexample JSON ('' to skip writing)",
+    )
+    fuzz_p.add_argument(
+        "--no-shrink", action="store_true", help="report raw failing cases unshrunk"
+    )
+    fuzz_p.add_argument(
+        "--trace", action="store_true", help="run under a tracer and print counters"
+    )
+    fuzz_p.add_argument(
+        "--list-oracles", action="store_true", help="list registered oracles and exit"
+    )
+    fuzz_p.add_argument(
+        "--replay", action="append", metavar="JSON",
+        help="re-run saved counterexample file(s) instead of fuzzing (repeatable)",
+    )
+    fuzz_p.add_argument(
+        "--inject-fault", default=None, metavar="NAME",
+        help="arm a known fault for the run (test-only; proves the engine fires)",
+    )
     sub.add_parser("cells", help="list registered sweep cells")
     report_p = sub.add_parser("report", help="run everything and write REPORT.md")
     report_p.add_argument("--out", default="REPORT.md", help="output path")
@@ -220,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args.name, args.jsonl, args.max_depth)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "cells":
         from repro.analysis.config import CELL_REGISTRY
 

@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.bas.forest import Forest
 from repro.core.bas.subforest import SubForest
 from repro.obs.tracer import current_tracer
+from repro.utils import faults
 
 #: Forest size at which the automatic engine switches to the vectorized
 #: kernel.  Below this the Python loop is already fast and exact for every
@@ -83,6 +84,10 @@ def _tm_values_impl(forest: Forest, k: int) -> Tuple[List, List]:
     n = forest.n
     t: List = [0] * n
     m: List = [0] * n
+    # Test-only fault (repro.check): mutate the child-selection order so the
+    # differential oracles have a broken kernel to catch.  Hoisted to one
+    # set lookup per call; disarmed cost is negligible.
+    broken_topk = faults.is_active("tm.loop.topk-order")
     for u in forest.postorder():
         kids = forest.children(u)
         if not kids:
@@ -92,7 +97,10 @@ def _tm_values_impl(forest: Forest, k: int) -> Tuple[List, List]:
         # C_k(u): the k children with the highest t-values.  Values are
         # positive, so filling all k slots is always at least as good as
         # leaving one empty.
-        best = heapq.nlargest(k, (t[c] for c in kids))
+        if broken_topk:
+            best = heapq.nsmallest(min(k, len(kids)), (t[c] for c in kids))
+        else:
+            best = heapq.nlargest(k, (t[c] for c in kids))
         t[u] = forest.value(u) + sum(best)
         m[u] = sum(max(t[c], m[c]) for c in kids)
     return t, m
@@ -228,6 +236,11 @@ def tm_optimal_bas(forest: Forest, k: int) -> SubForest:
 
 def _tm_optimal_bas_impl(forest: Forest, k: int) -> SubForest:
     t, m = _tm_values_auto(forest, k)
+    # Mirror of the aggregate-side fault hook: under the injected mutation
+    # the replay picks the same (wrong) children the recurrence counted, so
+    # the broken kernel stays internally consistent — only a cross-engine
+    # oracle can expose it.
+    broken_topk = faults.is_active("tm.loop.topk-order")
     retained: List[int] = []
     RETAIN, PRUNE_UP = 0, 1
     stack: List[Tuple[int, int]] = []
@@ -240,7 +253,9 @@ def _tm_optimal_bas_impl(forest: Forest, k: int) -> SubForest:
             kids = forest.children(u)
             if kids:
                 top = heapq.nsmallest(
-                    min(k, len(kids)), kids, key=lambda c: (-t[c], c)
+                    min(k, len(kids)),
+                    kids,
+                    key=(lambda c: (t[c], c)) if broken_topk else (lambda c: (-t[c], c)),
                 )
                 for c in top:
                     stack.append((c, RETAIN))

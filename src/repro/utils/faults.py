@@ -1,0 +1,66 @@
+"""Test-only fault injection for the differential engine (:mod:`repro.check`).
+
+A differential oracle is only trustworthy if it demonstrably *fires*: the
+check suite injects a deliberately broken kernel and asserts the engine
+catches it and shrinks the failure to a minimal counterexample.  This
+module is that switchboard — a tiny registry of named faults that guarded
+production code paths consult.
+
+Rules of engagement:
+
+* Faults are **never** active unless a test (or ``repro fuzz
+  --inject-fault``) explicitly arms them via :func:`inject`.
+* Guarded code hoists one :func:`is_active` call per kernel invocation, so
+  the disarmed cost is a set-emptiness check — far below the < 5 %
+  observability budget the CI gate enforces on the hot paths.
+* New faults must be declared in :data:`KNOWN_FAULTS` with a comment
+  naming the mutation, so the catalogue stays auditable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import FrozenSet, Iterator, Set
+
+__all__ = ["KNOWN_FAULTS", "active_faults", "inject", "is_active"]
+
+#: Catalogue of injectable faults.
+#:
+#: ``tm.loop.topk-order`` — the reference TM loop's child-selection
+#: tie-break is mutated to prefer the *lowest* ``t``-valued children
+#: instead of the highest (both in the aggregate recurrence and in the
+#: top-down materialisation), silently degrading the k-BAS whenever a node
+#: has more than ``k`` children.  The vectorized kernel and the MILP
+#: oracle are unaffected, which is exactly what the differential engine
+#: must detect.
+KNOWN_FAULTS: FrozenSet[str] = frozenset({"tm.loop.topk-order"})
+
+_active: Set[str] = set()
+
+
+def is_active(name: str) -> bool:
+    """Whether a named fault is currently armed (always False in production)."""
+    return bool(_active) and name in _active
+
+
+def active_faults() -> FrozenSet[str]:
+    """Snapshot of the armed fault names."""
+    return frozenset(_active)
+
+
+@contextmanager
+def inject(name: str) -> Iterator[None]:
+    """Arm one fault for the duration of the ``with`` block.
+
+    Nested/overlapping injections of the same name are rejected — a fault
+    armed twice is almost certainly a test bug, and disarms must be exact.
+    """
+    if name not in KNOWN_FAULTS:
+        raise ValueError(f"unknown fault {name!r}; known: {sorted(KNOWN_FAULTS)}")
+    if name in _active:
+        raise RuntimeError(f"fault {name!r} is already armed")
+    _active.add(name)
+    try:
+        yield
+    finally:
+        _active.discard(name)

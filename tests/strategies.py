@@ -1,0 +1,186 @@
+"""Shared hypothesis strategies for the property-test suite.
+
+One module owns the instance distributions every ``test_prop_*`` file used
+to re-declare inline: integral job sets, horizon-bounded job sets, lax job
+sets (paired with their k), random forests (float- and integer-valued,
+optionally paired with k), EDF-admitted feasible schedules, disjoint
+segment lists, and the small k / machine grids.
+
+Each strategy keeps the parameter ranges of the file it was lifted from as
+defaults (overridable per call), so consolidating did not change any
+test's input distribution — the hypothesis databases stay meaningful and
+the regimes each suite was tuned for (tie-heavy values, bushy forests,
+lax windows) are preserved.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.bas.forest import Forest
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.schedule import Segment
+
+__all__ = [
+    "jobsets",
+    "integral_jobsets",
+    "lax_jobsets",
+    "forests",
+    "int_forests",
+    "forests_with_k",
+    "feasible_schedules",
+    "segment_lists",
+    "small_ks",
+    "machine_counts",
+]
+
+
+# ---------------------------------------------------------------------------
+# parameter grids
+# ---------------------------------------------------------------------------
+
+
+def small_ks(min_k: int = 1, max_k: int = 3):
+    """The preemption budgets the property suites sweep (k = 0 by request)."""
+    return st.integers(min_value=min_k, max_value=max_k)
+
+
+def machine_counts(max_machines: int = 3):
+    return st.integers(min_value=1, max_value=max_machines)
+
+
+# ---------------------------------------------------------------------------
+# job sets
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def jobsets(
+    draw,
+    max_jobs: int = 8,
+    max_release: int = 20,
+    max_length: int = 6,
+    max_slack: int = 12,
+    max_value: int = 25,
+):
+    """Random integral job sets, windows ``d - r = p + slack >= p``.
+
+    The workhorse distribution: small enough for exact solvers, dense
+    enough in value/density ties to exercise tie-breaking.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=max_release))
+        p = draw(st.integers(min_value=1, max_value=max_length))
+        slack = draw(st.integers(min_value=0, max_value=max_slack))
+        v = draw(st.integers(min_value=1, max_value=max_value))
+        jobs.append(Job(i, r, r + p + slack, p, v))
+    return JobSet(jobs)
+
+
+@st.composite
+def integral_jobsets(draw, max_jobs: int = 7, horizon: int = 24, max_value: int = 20):
+    """Integral job sets confined to ``[0, horizon]`` — every window fits.
+
+    The bounded horizon keeps the exact branch-and-bound and the unit-slot
+    solvers cheap, which is what the EDF and reduction suites need.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.integers(min_value=0, max_value=horizon - 2))
+        p = draw(st.integers(min_value=1, max_value=max(1, (horizon - r) // 2)))
+        slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
+        value = draw(st.integers(min_value=1, max_value=max_value))
+        jobs.append(Job(i, r, r + p + slack, p, value))
+    return JobSet(jobs)
+
+
+@st.composite
+def lax_jobsets(draw, max_jobs: int = 12, min_k: int = 1, max_k: int = 3):
+    """``(JobSet, k)`` pairs that are lax for the drawn k (λ >= k + 1)."""
+    k = draw(st.integers(min_value=min_k, max_value=max_k))
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        p = draw(st.integers(min_value=1, max_value=16))
+        lam_extra = draw(st.integers(min_value=0, max_value=8))
+        window = p * (k + 1) + lam_extra
+        r = draw(st.integers(min_value=0, max_value=60))
+        value = draw(st.integers(min_value=1, max_value=30))
+        jobs.append(Job(i, r, r + window, p, value))
+    return JobSet(jobs), k
+
+
+@st.composite
+def feasible_schedules(draw, max_jobs: int = 8, horizon: int = 30):
+    """A feasible laminar schedule: EDF admission over a random instance."""
+    from repro.scheduling.edf import edf_accept_max_subset
+
+    jobs = draw(integral_jobsets(max_jobs=max_jobs, horizon=horizon))
+    return edf_accept_max_subset(jobs)
+
+
+# ---------------------------------------------------------------------------
+# forests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def forests(draw, max_nodes: int = 40, max_value: float = 100):
+    """Random float-valued forest: node i's parent from ``{-1} ∪ {0..i-1}``.
+
+    The shape family covers paths, stars and bushy trees — the top-k
+    selection's interesting regimes.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
+    values = [
+        draw(st.floats(min_value=0.01, max_value=max_value, allow_nan=False))
+        for _ in range(n)
+    ]
+    return Forest(parents, values)
+
+
+@st.composite
+def int_forests(draw, max_nodes: int = 60, max_value: int = 1000):
+    """Random forest with integer values (float64 arithmetic stays exact)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
+    values = [draw(st.integers(min_value=1, max_value=max_value)) for _ in range(n)]
+    return Forest(parents, values)
+
+
+@st.composite
+def forests_with_k(draw, max_nodes: int = 35, max_value: float = 50, max_k: int = 4):
+    """``(Forest, k)`` pairs for the k-BAS suites."""
+    forest = draw(forests(max_nodes=max_nodes, max_value=max_value))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    return forest, k
+
+
+# ---------------------------------------------------------------------------
+# segments
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def segment_lists(draw, max_segments: int = 12):
+    """Random disjoint segment lists over integer coordinates in [0, 100]."""
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=2,
+            max_size=2 * max_segments,
+            unique=True,
+        )
+    )
+    cuts.sort()
+    segs = []
+    for a, b in zip(cuts[::2], cuts[1::2]):
+        if b > a:
+            segs.append(Segment(a, b))
+    return segs

@@ -1,0 +1,176 @@
+"""Regression tests for the PR-2 keyword-only deprecation shims.
+
+Every solver entry point that went keyword-only keeps its legacy
+positional call form for one deprecation cycle.  These tests pin the
+contract of that cycle:
+
+* the positional form emits ``DeprecationWarning`` **exactly once** per
+  call (not zero, not per-machine/per-iteration);
+* the positional and keyword forms return *identical* results — the shim
+  may only translate the spelling, never change the computation;
+* the keyword form stays silent;
+* conflicting spellings raise ``TypeError``.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.lsa import lsa, lsa_cs
+from repro.core.multimachine import (
+    iterated_assignment,
+    multimachine_k_bounded,
+    multimachine_nonpreemptive,
+    multimachine_opt_infty,
+    reduce_multimachine_schedule,
+)
+from repro.scheduling.edf import edf_accept_max_subset
+from repro.scheduling.exact import k_feasible_subset_small, opt_k_exact_small
+from repro.scheduling.io import schedule_to_dict
+from repro.scheduling.job import Job, JobSet
+
+
+@pytest.fixture
+def jobs():
+    return JobSet(
+        [
+            Job(0, 0, 10, 3, 6.0),
+            Job(1, 1, 6, 2, 5.0),
+            Job(2, 2, 12, 4, 4.0),
+            Job(3, 0, 5, 2, 3.0),
+            Job(4, 4, 16, 3, 7.0),
+        ]
+    )
+
+
+@pytest.fixture
+def lax_jobs():
+    # λ >= 4 for every job: lax for every k <= 3 the suite exercises.
+    return JobSet(
+        [
+            Job(0, 0, 12, 3, 6.0),
+            Job(1, 2, 14, 2, 5.0),
+            Job(2, 1, 21, 4, 4.0),
+        ]
+    )
+
+
+def _snap(obj):
+    """Canonical byte-comparable form of a schedule-like result."""
+    if hasattr(obj, "machines"):  # MultiMachineSchedule
+        return json.dumps(
+            [schedule_to_dict(m) for m in obj.machines], sort_keys=True
+        )
+    if obj is None:
+        return None
+    return json.dumps(schedule_to_dict(obj), sort_keys=True)
+
+
+def _call_positional_once(fn, *call_args, **call_kwargs):
+    """Invoke and return (result, deprecation-warnings-list)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*call_args, **call_kwargs)
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+# One row per migrated entry point: (label, positional call, keyword call).
+CASES = [
+    (
+        "k_feasible_subset_small",
+        lambda js, _lx: k_feasible_subset_small(js, 2),
+        lambda js, _lx: k_feasible_subset_small(js, k=2),
+    ),
+    (
+        "opt_k_exact_small",
+        lambda js, _lx: opt_k_exact_small(js, 1, max_slots=20),
+        lambda js, _lx: opt_k_exact_small(js, k=1, max_slots=20),
+    ),
+    (
+        "lsa",
+        lambda _js, lx: lsa(lx, 2),
+        lambda _js, lx: lsa(lx, k=2),
+    ),
+    (
+        "lsa_cs",
+        lambda _js, lx: lsa_cs(lx, 2),
+        lambda _js, lx: lsa_cs(lx, k=2),
+    ),
+    (
+        "multimachine_k_bounded",
+        lambda js, _lx: multimachine_k_bounded(js, 2, 2),
+        lambda js, _lx: multimachine_k_bounded(js, k=2, machines=2),
+    ),
+    (
+        "multimachine_nonpreemptive",
+        lambda js, _lx: multimachine_nonpreemptive(js, 2),
+        lambda js, _lx: multimachine_nonpreemptive(js, machines=2),
+    ),
+    (
+        "multimachine_opt_infty",
+        lambda js, _lx: multimachine_opt_infty(js, 2),
+        lambda js, _lx: multimachine_opt_infty(js, machines=2),
+    ),
+    (
+        "iterated_assignment",
+        lambda js, _lx: iterated_assignment(js, 2, edf_accept_max_subset),
+        lambda js, _lx: iterated_assignment(
+            js, edf_accept_max_subset, machines=2
+        ),
+    ),
+    (
+        "reduce_multimachine_schedule",
+        lambda js, _lx: reduce_multimachine_schedule(
+            multimachine_opt_infty(js, machines=2), 1
+        ),
+        lambda js, _lx: reduce_multimachine_schedule(
+            multimachine_opt_infty(js, machines=2), k=1
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("label,positional,keyword", CASES, ids=[c[0] for c in CASES])
+def test_positional_warns_exactly_once(label, positional, keyword, jobs, lax_jobs):
+    _, deprecations = _call_positional_once(positional, jobs, lax_jobs)
+    assert len(deprecations) == 1, (
+        f"{label}: positional call emitted {len(deprecations)} "
+        f"DeprecationWarnings, want exactly 1"
+    )
+    assert label in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize("label,positional,keyword", CASES, ids=[c[0] for c in CASES])
+def test_keyword_form_is_silent(label, positional, keyword, jobs, lax_jobs):
+    _, deprecations = _call_positional_once(keyword, jobs, lax_jobs)
+    assert deprecations == [], f"{label}: keyword call warned: {deprecations}"
+
+
+@pytest.mark.parametrize("label,positional,keyword", CASES, ids=[c[0] for c in CASES])
+def test_positional_and_keyword_results_identical(
+    label, positional, keyword, jobs, lax_jobs
+):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = positional(jobs, lax_jobs)
+        new = keyword(jobs, lax_jobs)
+    assert _snap(old) == _snap(new), f"{label}: positional and keyword results differ"
+
+
+def test_conflicting_spellings_raise(jobs):
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            opt_k_exact_small(jobs, 1, k=1)
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            multimachine_k_bounded(jobs, 1, k=1)
+
+
+def test_missing_required_keyword_raises(jobs):
+    with pytest.raises(TypeError):
+        opt_k_exact_small(jobs)
+    with pytest.raises(TypeError):
+        multimachine_k_bounded(jobs)

@@ -1,0 +1,112 @@
+"""Tie-breaking determinism: byte-identical outputs, run to run.
+
+The paper's algorithms are full of ties (equal densities, equal ``t``
+values at the top-k boundary, equal deadlines), and every tie is broken by
+an explicit deterministic rule — smaller node id, smaller job id — so that
+a solve is a pure function of its instance.  These tests pin that down at
+the byte level:
+
+* the same instance solved twice yields JSON-identical schedules,
+* a pickle round-trip of the :class:`JobSet` (fresh objects, fresh hashes,
+  fresh dict insertion orders) changes nothing,
+* both TM engines — the reference loop below the auto-dispatch threshold
+  and the vectorized kernel above it — obey the same tie-break, checked by
+  monkeypatching ``_VECTORIZE_MIN_NODES`` to force each engine on the same
+  instance, and natively at a ≥ 4096-node forest where dispatch flips on
+  its own.
+"""
+
+import json
+import pickle
+
+import pytest
+
+import repro.core.bas.tm as tm_mod
+from repro.core.bas.tm import tm_optimal_bas
+from repro.core.combined import schedule_k_bounded
+from repro.instances.random_trees import random_forest
+from repro.scheduling.io import schedule_to_dict
+from repro.scheduling.job import Job, JobSet
+
+
+def _tie_heavy_jobs(n: int = 9) -> JobSet:
+    """An instance saturated with ties: equal values, lengths and windows."""
+    jobs = []
+    for i in range(n):
+        r = (i * 3) % 7
+        jobs.append(Job(i, r, r + 8, 2, 5.0))
+    return JobSet(jobs)
+
+
+def _solve_bytes(jobs: JobSet, k: int) -> str:
+    return json.dumps(schedule_to_dict(schedule_k_bounded(jobs, k)), sort_keys=True)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_same_instance_solved_twice_is_byte_identical(k):
+    jobs = _tie_heavy_jobs()
+    assert _solve_bytes(jobs, k) == _solve_bytes(jobs, k)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_pickle_roundtrip_preserves_solution_bytes(k):
+    jobs = _tie_heavy_jobs()
+    clone = pickle.loads(pickle.dumps(jobs))
+    assert clone is not jobs
+    assert _solve_bytes(jobs, k) == _solve_bytes(clone, k)
+
+
+@pytest.mark.parametrize("force_engine", ["loop", "vectorized"])
+def test_solve_deterministic_on_both_sides_of_dispatch(monkeypatch, force_engine):
+    """TM auto-dispatch: each engine alone must be run-to-run stable."""
+    # Threshold 1 forces every forest through the vectorized kernel;
+    # a huge threshold forces the reference loop.
+    monkeypatch.setattr(
+        tm_mod, "_VECTORIZE_MIN_NODES", 1 if force_engine == "vectorized" else 10**9
+    )
+    jobs = _tie_heavy_jobs()
+    first = _solve_bytes(jobs, 2)
+    second = _solve_bytes(pickle.loads(pickle.dumps(jobs)), 2)
+    assert first == second
+
+
+def test_engines_agree_on_tie_heavy_solve(monkeypatch):
+    """Loop and vectorized dispatch must produce the SAME bytes, not merely
+    each be self-consistent — the shared tie-break rule is the contract."""
+    jobs = _tie_heavy_jobs()
+    monkeypatch.setattr(tm_mod, "_VECTORIZE_MIN_NODES", 10**9)
+    via_loop = _solve_bytes(jobs, 2)
+    monkeypatch.setattr(tm_mod, "_VECTORIZE_MIN_NODES", 1)
+    via_vectorized = _solve_bytes(jobs, 2)
+    assert via_loop == via_vectorized
+
+
+def test_tm_materialisation_deterministic_above_native_threshold():
+    """At n >= 4096 the auto-dispatch flips to the vectorized kernel on its
+    own; the materialised k-BAS must still be a stable node set."""
+    n = 5000
+    assert n >= tm_mod._VECTORIZE_MIN_NODES
+    forest = random_forest(n, seed=7)
+    first = tm_optimal_bas(forest, 2)
+    second = tm_optimal_bas(forest, 2)
+    assert sorted(first.retained) == sorted(second.retained)
+    assert first.value == second.value
+
+
+def test_tm_materialisation_deterministic_below_threshold():
+    forest = random_forest(500, seed=7)
+    assert forest.n < tm_mod._VECTORIZE_MIN_NODES
+    first = tm_optimal_bas(forest, 2)
+    second = tm_optimal_bas(forest, 2)
+    assert sorted(first.retained) == sorted(second.retained)
+
+
+def test_tm_engines_agree_across_threshold_same_forest(monkeypatch):
+    """One forest, both engines (forced via the threshold): identical k-BAS."""
+    forest = random_forest(800, seed=11)
+    monkeypatch.setattr(tm_mod, "_VECTORIZE_MIN_NODES", 10**9)
+    via_loop = tm_optimal_bas(forest, 3)
+    monkeypatch.setattr(tm_mod, "_VECTORIZE_MIN_NODES", 1)
+    via_vectorized = tm_optimal_bas(forest, 3)
+    assert sorted(via_loop.retained) == sorted(via_vectorized.retained)
+    assert via_loop.value == pytest.approx(via_vectorized.value)

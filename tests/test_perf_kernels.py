@@ -37,15 +37,7 @@ from repro.instances.random_trees import random_forest
 from repro.utils.rng import spawn_rngs
 
 
-@st.composite
-def int_forests(draw, max_nodes: int = 60):
-    """Random forest with integer values (float64 arithmetic is exact)."""
-    n = draw(st.integers(min_value=1, max_value=max_nodes))
-    parents = [-1]
-    for i in range(1, n):
-        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
-    values = [draw(st.integers(min_value=1, max_value=1000)) for _ in range(n)]
-    return Forest(parents, values)
+from tests.strategies import int_forests
 
 
 class TestVectorizedTm:

@@ -9,25 +9,11 @@ import math
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.bas.contraction import levelled_contraction
 from repro.core.bas.tm import tm_optimal_bas, tm_optimal_value
 from repro.core.bas.verify import verify_bas
-from repro.core.bas.forest import Forest
-
-
-@st.composite
-def forests_with_k(draw, max_nodes: int = 35):
-    n = draw(st.integers(min_value=1, max_value=max_nodes))
-    parents = [-1]
-    for i in range(1, n):
-        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
-    values = [
-        draw(st.floats(min_value=0.01, max_value=50, allow_nan=False)) for _ in range(n)
-    ]
-    k = draw(st.integers(min_value=1, max_value=4))
-    return Forest(parents, values), k
+from tests.strategies import forests_with_k
 
 
 @given(forests_with_k())

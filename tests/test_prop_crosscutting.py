@@ -16,22 +16,9 @@ from repro.core.fixed_points import fixed_point_schedule
 from repro.core.nonpreemptive import nonpreemptive_combined
 from repro.core.reduction import reduce_schedule_to_k_preemptive
 from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
-from repro.scheduling.job import Job, JobSet
 from repro.scheduling.laminar import laminarize, laminarize_local
 from repro.scheduling.verify import verify_schedule
-
-
-@st.composite
-def jobsets(draw, max_jobs: int = 8):
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        r = draw(st.integers(min_value=0, max_value=20))
-        p = draw(st.integers(min_value=1, max_value=6))
-        slack = draw(st.integers(min_value=0, max_value=12))
-        v = draw(st.integers(min_value=1, max_value=25))
-        jobs.append(Job(i, r, r + p + slack, p, v))
-    return JobSet(jobs)
+from tests.strategies import jobsets
 
 
 @given(jobsets(), st.integers(min_value=1, max_value=3))

@@ -2,26 +2,12 @@
 monotonicity over random integral instances."""
 
 from hypothesis import assume, given
-from hypothesis import strategies as st
 
 from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
 from repro.scheduling.exact import k_feasible_subset_small
-from repro.scheduling.job import Job, JobSet
 from repro.scheduling.laminar import is_laminar
 from repro.scheduling.verify import verify_schedule
-
-
-@st.composite
-def integral_jobsets(draw, max_jobs: int = 7, horizon: int = 24):
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        r = draw(st.integers(min_value=0, max_value=horizon - 2))
-        p = draw(st.integers(min_value=1, max_value=max(1, (horizon - r) // 2)))
-        slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
-        value = draw(st.integers(min_value=1, max_value=20))
-        jobs.append(Job(i, r, r + p + slack, p, value))
-    return JobSet(jobs)
+from tests.strategies import integral_jobsets
 
 
 @given(integral_jobsets())

@@ -1,8 +1,6 @@
 """Property-based tests for the extension modules: budget-EDF,
 classify-and-select, global EDF and serialisation round-trips."""
 
-from fractions import Fraction
-
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -16,21 +14,15 @@ from repro.scheduling.io import (
     schedule_from_dict,
     schedule_to_dict,
 )
-from repro.scheduling.job import Job, JobSet
 from repro.scheduling.verify import verify_schedule
+from tests.strategies import jobsets as _shared_jobsets
 
 
-@st.composite
-def jobsets(draw, max_jobs: int = 8):
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        r = draw(st.integers(min_value=0, max_value=25))
-        p = draw(st.integers(min_value=1, max_value=8))
-        slack = draw(st.integers(min_value=0, max_value=12))
-        value = draw(st.integers(min_value=1, max_value=20))
-        jobs.append(Job(i, r, r + p + slack, p, value))
-    return JobSet(jobs)
+def jobsets(max_jobs: int = 8):
+    """This suite's historical distribution: wider windows, smaller values."""
+    return _shared_jobsets(
+        max_jobs=max_jobs, max_release=25, max_length=8, max_slack=12, max_value=20
+    )
 
 
 # -- budget-EDF ----------------------------------------------------------------

@@ -3,20 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.bas.forest import Forest
-
-
-@st.composite
-def forests(draw, max_nodes: int = 40):
-    """Random forest: node i's parent drawn from {-1} ∪ {0..i-1}."""
-    n = draw(st.integers(min_value=1, max_value=max_nodes))
-    parents = [-1]
-    for i in range(1, n):
-        parents.append(draw(st.integers(min_value=-1, max_value=i - 1)))
-    values = [
-        draw(st.floats(min_value=0.01, max_value=100, allow_nan=False)) for _ in range(n)
-    ]
-    return Forest(parents, values)
+from tests.strategies import forests
 
 
 @given(forests())

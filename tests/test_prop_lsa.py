@@ -1,28 +1,11 @@
 """Property-based tests for LSA / LSA_CS and the k = 0 algorithms."""
 
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.lsa import lsa, lsa_cs
 from repro.core.nonpreemptive import nonpreemptive_combined, nonpreemptive_lsa_cs
-from repro.scheduling.job import Job, JobSet
 from repro.scheduling.verify import verify_schedule
-
-
-@st.composite
-def lax_jobsets(draw, max_jobs: int = 12):
-    """Random job sets that are lax for the drawn k (λ >= k + 1)."""
-    k = draw(st.integers(min_value=1, max_value=3))
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        p = draw(st.integers(min_value=1, max_value=16))
-        lam_extra = draw(st.integers(min_value=0, max_value=8))
-        window = p * (k + 1) + lam_extra
-        r = draw(st.integers(min_value=0, max_value=60))
-        value = draw(st.integers(min_value=1, max_value=30))
-        jobs.append(Job(i, r, r + window, p, value))
-    return JobSet(jobs), k
+from tests.strategies import jobsets, lax_jobsets
 
 
 @given(lax_jobsets())
@@ -57,17 +40,11 @@ def test_lsa_cs_value_never_exceeds_total(jk):
     assert s.value <= jobs.total_value
 
 
-@st.composite
-def any_jobsets(draw, max_jobs: int = 12):
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        r = draw(st.integers(min_value=0, max_value=40))
-        p = draw(st.integers(min_value=1, max_value=12))
-        slack = draw(st.integers(min_value=0, max_value=20))
-        value = draw(st.integers(min_value=1, max_value=30))
-        jobs.append(Job(i, r, r + p + slack, p, value))
-    return JobSet(jobs)
+def any_jobsets(max_jobs: int = 12):
+    """Unconstrained-window counterpart of :func:`lax_jobsets`."""
+    return jobsets(
+        max_jobs=max_jobs, max_release=40, max_length=12, max_slack=20, max_value=30
+    )
 
 
 @given(any_jobsets())

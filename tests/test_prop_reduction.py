@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.reduction import (
@@ -12,24 +12,9 @@ from repro.core.reduction import (
 )
 from repro.core.bas.subforest import SubForest
 from repro.core.bas.tm import tm_optimal_bas
-from repro.scheduling.edf import edf_accept_max_subset
-from repro.scheduling.job import Job, JobSet
 from repro.scheduling.laminar import is_laminar
 from repro.scheduling.verify import verify_schedule
-
-
-@st.composite
-def feasible_schedules(draw, max_jobs: int = 8, horizon: int = 30):
-    """A feasible laminar schedule: EDF admission over a random instance."""
-    n = draw(st.integers(min_value=1, max_value=max_jobs))
-    jobs = []
-    for i in range(n):
-        r = draw(st.integers(min_value=0, max_value=horizon - 2))
-        p = draw(st.integers(min_value=1, max_value=max(1, (horizon - r) // 2)))
-        slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
-        value = draw(st.integers(min_value=1, max_value=20))
-        jobs.append(Job(i, r, r + p + slack, p, value))
-    return edf_accept_max_subset(JobSet(jobs))
+from tests.strategies import feasible_schedules
 
 
 @given(feasible_schedules(), st.integers(min_value=1, max_value=3))

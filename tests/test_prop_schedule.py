@@ -4,7 +4,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.scheduling.segment import (
-    Segment,
     complement_within,
     disjoint,
     merge_touching,
@@ -12,25 +11,7 @@ from repro.scheduling.segment import (
     total_length,
 )
 from repro.scheduling.timeline import Timeline, allocate_leftmost
-
-
-@st.composite
-def segment_lists(draw, max_segments: int = 12):
-    """Random disjoint segment lists over integer coordinates in [0, 100]."""
-    cuts = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=100),
-            min_size=2,
-            max_size=2 * max_segments,
-            unique=True,
-        )
-    )
-    cuts.sort()
-    segs = []
-    for a, b in zip(cuts[::2], cuts[1::2]):
-        if b > a:
-            segs.append(Segment(a, b))
-    return segs
+from tests.strategies import segment_lists
 
 
 @given(segment_lists())
