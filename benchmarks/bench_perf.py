@@ -10,14 +10,21 @@ pytest-benchmark and asserts the headline claims:
   machine-dependent, so only equality is asserted here — the JSON records
   the observed speedup);
 * the disabled observability layer costs < 5% on the TM hot path
-  (``repro.obs`` tracer contract).
+  (``repro.obs`` tracer contract);
+* a solver-service cache hit answers ≥ 10× faster than the cold solve it
+  memoised (``repro.serve`` acceptance gate).
 """
 
 import json
 
 import pytest
 
-from repro.analysis.perf import bench_tm_kernels, bench_tracer_overhead, run_bench
+from repro.analysis.perf import (
+    bench_serve_cache,
+    bench_tm_kernels,
+    bench_tracer_overhead,
+    run_bench,
+)
 from repro.analysis.sweep import Sweep, run_sweep
 from repro.core.bas.tm import tm_values, tm_values_vectorized
 from repro.instances.random_trees import random_forest
@@ -47,6 +54,15 @@ def test_tracer_disabled_overhead_under_5pct():
     # 1/1.05 is the 5% contract with min-of-reps noise robustness.
     assert disabled[0].speedup_vs_reference >= 1 / 1.05, (
         f"disabled tracer exceeds the 5% overhead gate: {disabled[0]}"
+    )
+
+
+def test_serve_cache_speedup_at_least_10x():
+    records = bench_serve_cache(reps=3)
+    cached = [r for r in records if r.op == "serve.solve[cached]"]
+    assert cached, f"serve cache record missing: {records}"
+    assert cached[0].speedup_vs_reference >= 10.0, (
+        f"serve cache hit below the 10x gate: {cached[0]}"
     )
 
 

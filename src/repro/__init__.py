@@ -66,8 +66,9 @@ from repro.core import (
     price_bound_k0,
 )
 from repro.core.pricing import PriceMeasurement
-from repro.api import SolveResult, price_of_bounded_preemption, solve_k_bounded
+from repro.api import SolveResult, price_of_bounded_preemption, request_key, solve_k_bounded
 from repro.obs import JsonlSink, MemorySink, Tracer, TreeSink
+from repro.serve import SolverService
 
 __version__ = "1.0.0"
 
@@ -111,8 +112,10 @@ __all__ = [
     "price_bound_k0",
     "SolveResult",
     "PriceMeasurement",
+    "request_key",
     "solve_k_bounded",
     "price_of_bounded_preemption",
+    "SolverService",
     "Tracer",
     "MemorySink",
     "JsonlSink",

@@ -237,6 +237,38 @@ def bench_tracer_overhead(
     ]
 
 
+def bench_serve_cache(
+    corpus: int = 12, n: int = 12, requests: int = 120, reps: int = 3, seed: int = 7
+) -> List[BenchRecord]:
+    """Solver-service latency: cold solves vs canonical-key cache hits.
+
+    One service per rep; the cold phase clears the cache and solves every
+    corpus instance, the cached phase replays the same requests (all hits).
+    The recorded ``n`` is the number of requests per phase; the hit-side
+    ``speedup_vs_reference`` is the cached-vs-cold median ratio the
+    acceptance gate in ``benchmarks/bench_perf.py`` asserts stays >= 10.
+    """
+    from repro.instances.random_jobs import random_jobs
+    from repro.serve import SolverService
+
+    instances = [(random_jobs(n, seed=seed + i), 1 + i % 2) for i in range(corpus)]
+    cold_times: List[float] = []
+    hit_times: List[float] = []
+    for _ in range(reps):
+        with SolverService(workers=1, cache_size=4 * corpus) as svc:
+            svc.clear_cache()
+            for jobs, k in instances:
+                cold_times.extend(_times_ms(lambda: svc.solve(jobs, k), 1))
+            for _ in range(max(1, requests // corpus)):
+                for jobs, k in instances:
+                    hit_times.extend(_times_ms(lambda: svc.solve(jobs, k), 1))
+    return [
+        _record("serve.solve[cold]", corpus, None, cold_times),
+        _record("serve.solve[cached]", corpus, None, hit_times,
+                speedup=_median(cold_times) / _median(hit_times)),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -305,6 +337,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_edf_cache(n=12, reps=2)
             + bench_forest_traversals(n=20_000, reps=2)
             + bench_tracer_overhead(n=20_000, reps=5)
+            + bench_serve_cache(corpus=6, requests=30, reps=2)
         )
     else:
         records = (
@@ -313,6 +346,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_edf_cache()
             + bench_forest_traversals()
             + bench_tracer_overhead()
+            + bench_serve_cache()
         )
     payload = {
         "schema": RUN_SCHEMA,

@@ -45,7 +45,12 @@ from repro.scheduling.exact import opt_infty_auto
 from repro.scheduling.job import JobSet
 from repro.scheduling.schedule import MultiMachineSchedule, Schedule
 
-__all__ = ["SolveResult", "solve_k_bounded", "price_of_bounded_preemption"]
+__all__ = [
+    "SolveResult",
+    "request_key",
+    "solve_k_bounded",
+    "price_of_bounded_preemption",
+]
 
 #: Dispatchable methods of :func:`solve_k_bounded`.  ``auto`` picks the
 #: strongest pipeline for the instance; the named methods force one branch.
@@ -75,6 +80,46 @@ class SolveResult:
         """Ids of the jobs the schedule accepts (sorted)."""
         return list(self.schedule.scheduled_ids)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether this result came from a deadline-degraded serve fallback.
+
+        Direct :func:`solve_k_bounded` results are never degraded; the
+        :mod:`repro.serve` service sets ``metrics["served.degraded"]`` when
+        a deadline forced the LSA fallback (see ``docs/SERVING.md``).
+        """
+        return bool(self.metrics.get("served.degraded", 0))
+
+    def with_metrics(self, extra: Mapping[str, float]) -> "SolveResult":
+        """A copy with ``extra`` merged into (and overriding) ``metrics``.
+
+        The serve layer uses this to stamp its ``served.*`` block onto a
+        result without mutating the instance other callers may share.
+        """
+        merged = dict(self.metrics)
+        merged.update(extra)
+        return SolveResult(
+            value=self.value,
+            schedule=self.schedule,
+            preemptions_used=self.preemptions_used,
+            method=self.method,
+            metrics=merged,
+        )
+
+
+def request_key(jobs: JobSet, k: int, *, machines: int = 1, method: str = "auto") -> str:
+    """Canonical cache key for one facade solve request.
+
+    Combines :meth:`JobSet.canonical_key` (order-independent,
+    representation-normalized instance hash) with the solver parameters
+    that select the pipeline.  Two requests with equal keys are guaranteed
+    to produce interchangeable :class:`SolveResult` artifacts, which is the
+    contract the :mod:`repro.serve` cache and request coalescing rely on.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r} (want one of {METHODS})")
+    return f"{jobs.canonical_key()}:k={k}:m={machines}:method={method}"
+
 
 def _solve_single(jobs: JobSet, k: int, method: str) -> Schedule:
     if method in ("auto", "combined"):
@@ -88,7 +133,10 @@ def _solve_single(jobs: JobSet, k: int, method: str) -> Schedule:
     if method == "lsa":
         if k == 0:
             return nonpreemptive_combined(jobs)
-        return lsa_cs(jobs, k=k)
+        # Out-of-spec (strict) jobs are admitted: the greedy placement is
+        # always feasible, and a total cheap method is what the serve layer
+        # degrades to when a deadline expires.
+        return lsa_cs(jobs, k=k, enforce_laxity=False)
     raise ValueError(f"unknown method {method!r} (want one of {METHODS})")
 
 
@@ -109,7 +157,9 @@ def solve_k_bounded(
       OPT_∞ input (the library's default pipeline);
     * ``"reduction"`` — the §4.1 schedule→forest→k-BAS reduction applied to
       the whole best ∞-preemptive schedule;
-    * ``"lsa"`` — classify-and-select LSA only (lax instances).
+    * ``"lsa"`` — classify-and-select LSA only; total on any instance (the
+      Lemma 4.10 guarantee covers the lax fraction) and the cheapest
+      pipeline, which is why the serve layer degrades to it.
 
     The solve always runs traced: under the caller's tracer when one is
     active (spans join the caller's trace), else under a private tracer.

@@ -347,6 +347,50 @@ def _solve_deterministic(case: Case) -> Optional[str]:
     return None
 
 
+@register_oracle(
+    "served-vs-direct",
+    "jobs",
+    "SolverService answers (cold and cache-hit) equal the direct facade solve",
+)
+def _served_vs_direct(case: Case) -> Optional[str]:
+    import json
+
+    from repro.api import solve_k_bounded
+    from repro.scheduling.io import schedule_to_dict
+    from repro.scheduling.verify import verify_schedule
+    from repro.serve import SolverService
+
+    jobs, k = case.payload, case.params["k"]
+    direct = solve_k_bounded(jobs, k)
+    direct_bytes = json.dumps(schedule_to_dict(direct.schedule), sort_keys=True)
+    with SolverService(workers=1) as svc:
+        cold = svc.solve(jobs, k)
+        hit = svc.solve(jobs, k)
+        stats = svc.stats()
+    for label, served in (("cold", cold), ("hit", hit)):
+        if served.degraded:
+            return f"serve {label} result degraded without any deadline (k={k})"
+        rep = verify_schedule(served.schedule, k=k)
+        if not rep.feasible:
+            return f"serve {label} schedule infeasible (k={k}): {rep.violations[:3]}"
+        if served.value != direct.value or served.preemptions_used != direct.preemptions_used:
+            return (
+                f"serve {label} diverges from direct solve (k={k}): "
+                f"value {served.value} vs {direct.value}, preemptions "
+                f"{served.preemptions_used} vs {direct.preemptions_used}"
+            )
+        if json.dumps(schedule_to_dict(served.schedule), sort_keys=True) != direct_bytes:
+            return f"serve {label} schedule differs from the direct solve's (k={k})"
+    if stats["misses"] != 1 or stats["hits"] != 1:
+        return (
+            "serve cache bookkeeping wrong for identical back-to-back requests: "
+            f"misses {stats['misses']}, hits {stats['hits']} (want 1 and 1)"
+        )
+    if not hit.metrics.get("served.hit"):
+        return "cache-hit result is missing its served.hit metrics flag"
+    return None
+
+
 # ---------------------------------------------------------------------------
 # forest-domain oracles
 # ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@ Subcommands::
     repro-bench bench [--quick]      # time the hot kernels, write BENCH_perf.json
     repro-bench trace e4 [--jsonl f] # run traced, print the span tree
     repro-bench fuzz [--smoke]       # differential fuzzing across all oracle pairs
+    repro-bench serve-bench          # cached-vs-cold latency of the solver service
     repro-bench demo                 # 20-line end-to-end tour
 
 Every experiment re-asserts its paper bound while running, so a clean exit
@@ -143,14 +144,50 @@ def _cmd_trace(name: str, jsonl: Optional[str], max_depth: Optional[int]) -> int
     return 0
 
 
+def _fuzz_usage_error(message: str) -> int:
+    """Reject a contradictory ``fuzz`` invocation: message on stderr, exit 2
+    (argparse's own usage-error status, so CI scripts see one convention)."""
+    print(f"repro-bench fuzz: error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_fuzz(args) -> int:
     """``repro fuzz``: the differential engine's CLI front end.
 
     Exit status is the contract CI relies on: 0 when every oracle agreed on
     every case (and every replayed counterexample stayed fixed), 1 on any
-    disagreement or still-reproducing replay.
+    disagreement or still-reproducing replay, 2 on a contradictory or
+    unusable invocation (nothing was fuzzed).
     """
     from repro.check import ORACLES, replay_counterexample, run_fuzz
+
+    if args.smoke and args.instances is not None:
+        return _fuzz_usage_error(
+            "--smoke fixes the instance count at 200; drop --instances"
+        )
+    if args.replay:
+        contradicting = [
+            flag
+            for flag, value in (
+                ("--smoke", args.smoke),
+                ("--instances", args.instances is not None),
+                ("--inject-fault", args.inject_fault is not None),
+                ("--oracle", bool(args.oracle)),
+            )
+            if value
+        ]
+        if contradicting:
+            return _fuzz_usage_error(
+                f"--replay re-runs saved cases and contradicts {', '.join(contradicting)}"
+            )
+    if args.inject_fault is not None:
+        from repro.utils import faults as _faults
+
+        if args.inject_fault not in _faults.KNOWN_FAULTS:
+            return _fuzz_usage_error(
+                f"unknown fault {args.inject_fault!r}; "
+                f"known: {', '.join(sorted(_faults.KNOWN_FAULTS))}"
+            )
 
     if args.list_oracles:
         width = max(len(name) for name in ORACLES)
@@ -162,7 +199,14 @@ def _cmd_fuzz(args) -> int:
     if args.replay:
         rc = 0
         for path in args.replay:
-            detail = replay_counterexample(path)
+            try:
+                detail = replay_counterexample(path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(
+                    f"repro-bench fuzz: error: cannot replay {path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
             if detail is None:
                 print(f"{path}: no longer reproduces")
             else:
@@ -170,7 +214,7 @@ def _cmd_fuzz(args) -> int:
                 rc = 1
         return rc
 
-    instances = 200 if args.smoke else args.instances
+    instances = 200 if args.smoke else (100 if args.instances is None else args.instances)
     fault_cm = None
     if args.inject_fault:
         from repro.utils import faults
@@ -204,6 +248,83 @@ def _cmd_fuzz(args) -> int:
             fault_cm.__exit__(None, None, None)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_serve_bench(args) -> int:
+    """``repro serve-bench``: cached-vs-cold latency of the solver service.
+
+    Warms a :class:`~repro.serve.SolverService` on a seeded instance corpus
+    (the cold pass, one solve per unique request key), then fires
+    ``--requests`` randomized requests over the same corpus — all cache
+    hits — timing each round trip.  Prints p50/p95 for both phases plus the
+    service counters; ``--json`` writes the same payload for tooling, and
+    ``--min-speedup`` turns the p50 ratio into the exit status so CI can
+    gate on it.
+    """
+    import json
+    import random
+    import statistics
+    import time
+
+    from repro.instances import random_jobs
+    from repro.serve import SolverService
+
+    if args.requests < 1:
+        print("repro-bench serve-bench: error: --requests must be >= 1", file=sys.stderr)
+        return 2
+
+    rng = random.Random(args.seed)
+    corpus = [random_jobs(args.n, seed=args.seed + i) for i in range(args.corpus)]
+    ks = [rng.choice((1, 2)) for _ in corpus]
+
+    def timed_solve(svc: SolverService, i: int) -> float:
+        t0 = time.perf_counter()
+        svc.solve(corpus[i], ks[i], deadline_ms=args.deadline_ms)
+        return (time.perf_counter() - t0) * 1e3
+
+    with SolverService(workers=args.workers, cache_size=args.cache_size) as svc:
+        cold_ms = [timed_solve(svc, i) for i in range(len(corpus))]
+        hit_ms = [timed_solve(svc, rng.randrange(len(corpus))) for _ in range(args.requests)]
+        stats = svc.stats()
+
+    def p(series: List[float], q: float) -> float:
+        ordered = sorted(series)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    cold_p50 = statistics.median(cold_ms)
+    hit_p50 = statistics.median(hit_ms)
+    speedup = cold_p50 / hit_p50 if hit_p50 > 0 else float("inf")
+    payload = {
+        "requests": args.requests,
+        "corpus": len(corpus),
+        "seed": args.seed,
+        "cold_p50_ms": cold_p50,
+        "cold_p95_ms": p(cold_ms, 0.95),
+        "cached_p50_ms": hit_p50,
+        "cached_p95_ms": p(hit_ms, 0.95),
+        "p50_speedup": speedup,
+        "stats": stats,
+    }
+    print(f"corpus {len(corpus)} instances (n={args.n}), {args.requests} cached-phase requests")
+    print(f"cold   p50 {cold_p50:9.3f} ms   p95 {payload['cold_p95_ms']:9.3f} ms")
+    print(f"cached p50 {hit_p50:9.3f} ms   p95 {payload['cached_p95_ms']:9.3f} ms")
+    print(f"cached p50 speedup: {speedup:.1f}x")
+    print(
+        "service: "
+        + ", ".join(f"{name}={stats[name]}" for name in ("requests", "hits", "misses", "coalesced", "degraded", "evictions"))
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"repro-bench serve-bench: cached p50 speedup {speedup:.1f}x "
+            f"below required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -260,7 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     fuzz_p.add_argument("--seed", type=int, default=0, help="root RNG seed (default: 0)")
     fuzz_p.add_argument(
-        "--instances", type=int, default=100,
+        "--instances", type=int, default=None,
         help="cases per domain — every oracle sees this many (default: 100)",
     )
     fuzz_p.add_argument(
@@ -291,6 +412,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz_p.add_argument(
         "--inject-fault", default=None, metavar="NAME",
         help="arm a known fault for the run (test-only; proves the engine fires)",
+    )
+    serve_p = sub.add_parser(
+        "serve-bench", help="measure cached-vs-cold latency of the solver service"
+    )
+    serve_p.add_argument("--requests", type=int, default=500, help="cached-phase requests")
+    serve_p.add_argument("--seed", type=int, default=7, help="corpus + arrival-order seed")
+    serve_p.add_argument("--corpus", type=int, default=20, help="distinct instances")
+    serve_p.add_argument("--n", type=int, default=12, help="jobs per instance")
+    serve_p.add_argument("--workers", type=int, default=4, help="service worker threads")
+    serve_p.add_argument("--cache-size", type=int, default=256, help="LRU capacity")
+    serve_p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request degradation budget (default: none)",
+    )
+    serve_p.add_argument("--json", default=None, metavar="PATH", help="also write JSON payload")
+    serve_p.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit 1 unless cached p50 is this many times below cold p50",
     )
     sub.add_parser("cells", help="list registered sweep cells")
     report_p = sub.add_parser("report", help="run everything and write REPORT.md")
@@ -323,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args.name, args.jsonl, args.max_depth)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "cells":
         from repro.analysis.config import CELL_REGISTRY
 

@@ -131,6 +131,7 @@ def lsa_cs(
     k: Optional[int] = None,
     order: str = "density",
     return_all_classes: bool = False,
+    enforce_laxity: bool = True,
 ) -> Schedule | Tuple[Schedule, Dict[int, Schedule]]:
     """Classify-and-select: LSA per geometric length class, best class wins.
 
@@ -142,6 +143,12 @@ def lsa_cs(
 
     ``return_all_classes=True`` also returns the per-class schedules, which
     the experiments use to show where the value concentrates.
+
+    ``enforce_laxity=False`` admits strict jobs too: the greedy leftmost
+    placement stays feasible on any input (laxity only enters the value
+    analysis, never the feasibility argument), which is what the serve
+    layer's deadline degradation relies on.  The Lemma 4.10 guarantee
+    applies only to the lax fraction of the instance in that mode.
 
     ``k`` is keyword-only; the legacy positional form still works but emits
     a :class:`DeprecationWarning`.
@@ -159,7 +166,7 @@ def lsa_cs(
     with obs_span("lsa.classify", n=jobs.n, k=k, classes=len(classes)):
         for c, class_jobs in classes.items():
             with obs_span("lsa.class", cls=c, jobs=class_jobs.n):
-                sched = lsa(class_jobs, k=k, order=order)
+                sched = lsa(class_jobs, k=k, order=order, enforce_laxity=enforce_laxity)
             # Re-home onto the full instance for uniform value accounting.
             sched = Schedule(jobs, {i: list(sched[i]) for i in sched.scheduled_ids})
             per_class[c] = sched

@@ -17,10 +17,16 @@ from repro.utils.numeric import log_base
 
 
 def price_bound_n(n: int, k: int) -> float:
-    """Theorem 4.2: ``PoBP_k <= log_{k+1} n`` (clamped below by 1)."""
-    if k < 1:
-        raise ValueError(f"bound defined for k >= 1, got {k}")
-    return max(1.0, log_base(n, k + 1))
+    """Theorem 4.2: ``PoBP_k <= ⌊log_{k+1} n⌋ + 1``.
+
+    The reduction inherits the k-BAS loss factor, and the provable factor is
+    the integer Lemma 3.18 layer count, not the raw real log (see
+    :func:`repro.core.bas.bounds.bas_loss_bound` for the 4-node
+    counterexample to the unclamped form).
+    """
+    from repro.core.bas.bounds import lc_layer_bound
+
+    return float(lc_layer_bound(n, k))
 
 
 def price_bound_P(P, k: int, *, constant: float = 6.0) -> float:

@@ -4,7 +4,10 @@ The solvers in :mod:`repro.core` and :mod:`repro.scheduling` are
 instrumented with nested spans and counters that explain where a solve's
 time and search effort went — per-level TM batch sizes, branch-and-bound
 nodes, EDF-cache hit rates, LSA placement attempts, per-cell sweep
-timings.  All of it is off by default and costs < 5 % (gated in CI) on the
+timings.  The serving layer (:mod:`repro.serve`) adds a ``serve.request``
+span wrapping each dispatched solve plus ``serve.*`` counters (requests,
+hits, misses, coalesced, degraded, evictions, retries, timeouts, errors).
+All of it is off by default and costs < 5 % (gated in CI) on the
 hottest kernel when off.
 
 Turn it on by activating a :class:`Tracer` around any library call::

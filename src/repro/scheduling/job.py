@@ -18,10 +18,23 @@ what makes the zero-slack lower-bound instances verifiable.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.utils.numeric import geq, gt, leq
+
+
+def _canonical_number(x) -> str:
+    """Exact rational token for a time/value coordinate (``p`` or ``p/q``).
+
+    ``Fraction`` accepts int, float and Fraction and is exact for all of
+    them (floats convert via their binary expansion), so numerically equal
+    coordinates of different Python types produce the same token.
+    """
+    f = Fraction(x)
+    return str(f.numerator) if f.denominator == 1 else f"{f.numerator}/{f.denominator}"
 
 
 @dataclass(frozen=True)
@@ -171,6 +184,42 @@ class JobSet:
             min(j.release for j in self._jobs),
             max(j.deadline for j in self._jobs),
         )
+
+    def canonical_key(self) -> str:
+        """Order-independent, representation-normalized instance hash.
+
+        The key is the SHA-256 of the job multiset serialised in a canonical
+        form: jobs sorted by ``(release, deadline, length, value, id)`` and
+        every coordinate normalized to an exact rational (so ``3``, ``3.0``
+        and ``Fraction(3)`` — numerically indistinguishable to every solver
+        — hash identically).  Job ids participate, since schedules reference
+        them; two instances that differ only in job *order* share a key,
+        which is what makes the serve-layer cache
+        (:mod:`repro.serve`) safe: any cached result is verbatim valid for
+        every instance mapping to the same key.
+
+        Collision resistance is inherited from SHA-256 over an injective
+        encoding (field- and job-separators cannot appear inside the exact
+        rational tokens); ``tests/test_serve.py`` fuzzes for collisions.
+        """
+        parts = []
+        for j in sorted(
+            self._jobs,
+            key=lambda j: (j.release, j.deadline, j.length, j.value, j.id),
+        ):
+            parts.append(
+                ",".join(
+                    (
+                        _canonical_number(j.release),
+                        _canonical_number(j.deadline),
+                        _canonical_number(j.length),
+                        _canonical_number(j.value),
+                        str(j.id),
+                    )
+                )
+            )
+        digest = hashlib.sha256("|".join(parts).encode("ascii")).hexdigest()
+        return digest
 
     # -- derived sets ---------------------------------------------------------
 

@@ -1,0 +1,11 @@
+"""repro.serve — the batch solver service.
+
+A synchronous-API, concurrently-executing front end over
+:func:`repro.api.solve_k_bounded` with canonical-instance caching, request
+coalescing and deadline-driven degradation.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.cache import LruCache
+from repro.serve.service import ServiceClosed, SolverService
+
+__all__ = ["LruCache", "ServiceClosed", "SolverService"]

@@ -1,0 +1,338 @@
+"""The batch solver service: submit many, solve once, answer fast.
+
+:class:`SolverService` fronts :func:`repro.api.solve_k_bounded` with the
+three amortisations a real workload needs (the same adversarial families,
+sweep cells and paper instances get re-requested constantly):
+
+* **canonical-instance caching** — results are cached under
+  :func:`repro.api.request_key`, so permuted or re-typed copies of an
+  instance hit the same entry (``JobSet.canonical_key`` is order- and
+  representation-independent);
+* **request coalescing** — concurrent submissions of the same key share
+  one in-flight solve: followers get the leader's future instead of a
+  duplicate worker;
+* **deadline-driven degradation** — a request with a ``deadline_ms``
+  budget that the full pipeline exceeds falls back to the LSA pipeline
+  (fast, value-safe, still certificate-valid) and the result is flagged
+  with ``metrics["served.degraded"]``.
+
+The API is synchronous-friendly: :meth:`SolverService.submit` returns a
+:class:`concurrent.futures.Future` resolving to a
+:class:`~repro.api.SolveResult`; :meth:`SolverService.solve` blocks.
+Execution is concurrent on a bounded worker pool.  Failed solves are
+retried once before the failure (or the degraded fallback, when a
+deadline is set) is surfaced.
+
+Observability: every request runs under a private tracer whose spans
+(``serve.request`` wrapping the usual ``api.solve`` tree) and counters
+merge into the service's tracer — the one active when the service was
+constructed, or one passed explicitly.  Service counters are
+``serve.requests/hits/misses/coalesced/degraded/evictions/retries/
+timeouts/errors``; :meth:`SolverService.stats` exposes the same numbers
+without any tracer.  See ``docs/SERVING.md`` for the architecture and the
+degradation contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.api import SolveResult, request_key, solve_k_bounded
+from repro.obs.tracer import Tracer, current_tracer
+from repro.scheduling.job import JobSet
+from repro.serve.cache import LruCache
+
+__all__ = ["SolverService", "ServiceClosed"]
+
+#: Stat fields reported by :meth:`SolverService.stats`, all monotonic.
+_STAT_NAMES = (
+    "requests",
+    "hits",
+    "misses",
+    "coalesced",
+    "degraded",
+    "evictions",
+    "retries",
+    "timeouts",
+    "errors",
+)
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by :meth:`SolverService.submit` after :meth:`shutdown`."""
+
+
+class SolverService:
+    """Concurrently-executing, caching, coalescing facade over the solvers.
+
+    ``workers`` bounds the solve concurrency; ``cache_size`` bounds the LRU
+    result cache; ``deadline_ms`` is a default per-request budget (each
+    :meth:`submit` may override it).  ``tracer`` defaults to the tracer
+    active at construction time — pass one explicitly to collect service
+    spans without activating a context tracer.  ``solve_fn`` exists for
+    tests (fault windows, slow solves); production callers never set it.
+
+    A timed-out pipeline attempt is *abandoned*, not interrupted — the
+    worker thread finishes in the background while the degraded answer is
+    served (solves are pure, so this wastes CPU but corrupts nothing).
+
+    Usable as a context manager; :meth:`shutdown` drains the pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        cache_size: int = 256,
+        deadline_ms: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        solve_fn: Optional[Callable[..., SolveResult]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._cache = LruCache(cache_size)
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._stats: Dict[str, int] = {name: 0 for name in _STAT_NAMES}
+        self._tracer = tracer if tracer is not None else current_tracer()
+        self._solve = solve_fn if solve_fn is not None else solve_k_bounded
+        self._default_deadline_ms = deadline_ms
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (by default) drain in-flight solves."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    # -- the public surface ---------------------------------------------------
+
+    def submit(
+        self,
+        jobs: JobSet,
+        k: int,
+        *,
+        machines: int = 1,
+        method: str = "auto",
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[SolveResult]":
+        """Enqueue one solve request; returns a future of its result.
+
+        Cache hits resolve immediately (the result carries
+        ``metrics["served.hit"]``); a duplicate of an in-flight request
+        shares the leader's future; everything else dispatches to the
+        worker pool.  Argument validation errors raise here, in the
+        caller's thread — only solver failures travel through the future.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines}")
+        key = request_key(jobs, k, machines=machines, method=method)
+        if deadline_ms is None:
+            deadline_ms = self._default_deadline_ms
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("submit on a shut-down SolverService")
+            self._stats["requests"] += 1
+            self._count_tracer("serve.requests")
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._stats["hits"] += 1
+                self._count_tracer("serve.hits")
+                done: "Future[SolveResult]" = Future()
+                done.set_result(cached.with_metrics({"served.hit": 1.0}))
+                return done
+            leader = self._inflight.get(key)
+            if leader is not None:
+                self._stats["coalesced"] += 1
+                self._count_tracer("serve.coalesced")
+                return leader
+            fut: "Future[SolveResult]" = Future()
+            self._inflight[key] = fut
+            self._stats["misses"] += 1
+            self._count_tracer("serve.misses")
+        self._pool.submit(self._run, key, fut, jobs, k, machines, method, deadline_ms)
+        return fut
+
+    def solve(
+        self,
+        jobs: JobSet,
+        k: int,
+        *,
+        machines: int = 1,
+        method: str = "auto",
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> SolveResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            jobs, k, machines=machines, method=method, deadline_ms=deadline_ms
+        ).result(timeout=timeout)
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the service counters plus cache/in-flight occupancy."""
+        with self._lock:
+            out = dict(self._stats)
+            out["cache_size"] = len(self._cache)
+            out["inflight"] = len(self._inflight)
+        return out
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (benchmarks use this for cold timings)."""
+        with self._lock:
+            self._cache.clear()
+
+    # -- worker side ----------------------------------------------------------
+
+    def _count_tracer(self, name: str, delta: float = 1) -> None:
+        # Caller must hold self._lock; the tracer's counter dict is shared.
+        if self._tracer is not None:
+            self._tracer.count(name, delta)
+
+    def _run(
+        self,
+        key: str,
+        fut: "Future[SolveResult]",
+        jobs: JobSet,
+        k: int,
+        machines: int,
+        method: str,
+        deadline_ms: Optional[float],
+    ) -> None:
+        tracer = Tracer()
+        try:
+            with tracer.activate():
+                with tracer.span(
+                    "serve.request",
+                    n=jobs.n,
+                    k=k,
+                    machines=machines,
+                    method=method,
+                    deadline_ms=deadline_ms,
+                ) as root:
+                    result, served = self._solve_with_deadline(
+                        jobs, k, machines, method, deadline_ms
+                    )
+                    root.attrs["degraded"] = bool(served["served.degraded"])
+                wall_ms = root.duration_ms
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._stats["errors"] += 1
+                self._count_tracer("serve.errors")
+                if self._tracer is not None:
+                    self._tracer.merge(tracer.export())
+            fut.set_exception(exc)
+            return
+        served["served.wall_ms"] = float(wall_ms)
+        result = result.with_metrics(served)
+        with self._lock:
+            evicted = self._cache.put(key, result)
+            self._inflight.pop(key, None)
+            self._stats["evictions"] += evicted
+            self._stats["degraded"] += int(served["served.degraded"])
+            self._stats["retries"] += int(served["served.retries"])
+            self._stats["timeouts"] += int(served["served.timeouts"])
+            if self._tracer is not None:
+                if evicted:
+                    self._count_tracer("serve.evictions", evicted)
+                if served["served.degraded"]:
+                    self._count_tracer("serve.degraded")
+                if served["served.retries"]:
+                    self._count_tracer("serve.retries", served["served.retries"])
+                if served["served.timeouts"]:
+                    self._count_tracer("serve.timeouts", served["served.timeouts"])
+                self._tracer.merge(tracer.export())
+        fut.set_result(result)
+
+    def _solve_with_deadline(
+        self,
+        jobs: JobSet,
+        k: int,
+        machines: int,
+        method: str,
+        deadline_ms: Optional[float],
+    ):
+        """One solve under the request's budget; returns (result, served block).
+
+        No deadline: solve inline, one retry on failure.  With a deadline:
+        run the attempt in a side thread and wait out the remaining budget;
+        a timeout (or a retry that would start with no budget left) degrades
+        to the single-machine LSA pipeline, which is the cheap end of the
+        Algorithm 3 spectrum and still certificate-valid.  The degraded
+        result is flagged in ``served.degraded``; a multi-machine request
+        degrades to the one-machine LSA value (a feasible lower bound).
+        """
+        served: Dict[str, float] = {
+            "served.degraded": 0.0,
+            "served.retries": 0.0,
+            "served.timeouts": 0.0,
+        }
+        attempt = lambda: self._solve(jobs, k, machines=machines, method=method)
+        if deadline_ms is None:
+            try:
+                return attempt(), served
+            except Exception:
+                served["served.retries"] = 1.0
+                return attempt(), served
+
+        t0 = time.perf_counter()
+        budget_s = max(0.0, float(deadline_ms) / 1e3)
+        status, payload = _attempt_with_timeout(attempt, budget_s)
+        if status == "error":
+            served["served.retries"] = 1.0
+            remaining = budget_s - (time.perf_counter() - t0)
+            if remaining > 0:
+                status, payload = _attempt_with_timeout(attempt, remaining)
+            else:
+                status, payload = "timeout", None
+        if status == "ok":
+            return payload, served
+        if status == "error":
+            raise payload
+        served["served.timeouts"] = 1.0
+        served["served.degraded"] = 1.0
+        result = self._solve(jobs, k, machines=1, method="lsa")
+        return result, served
+
+
+def _attempt_with_timeout(fn: Callable[[], Any], timeout_s: float):
+    """Run ``fn`` in a daemon thread, waiting at most ``timeout_s``.
+
+    Returns ``("ok", result)``, ``("error", exception)`` or
+    ``("timeout", None)``.  On timeout the thread is left to finish in the
+    background (Python offers no safe preemption; solves are pure).
+    """
+    box: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def run() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # surfaced to the caller, never lost
+            box["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=run, daemon=True, name="repro-serve-attempt")
+    worker.start()
+    if not done.wait(timeout_s):
+        return "timeout", None
+    if "error" in box:
+        return "error", box["error"]
+    return "ok", box["result"]

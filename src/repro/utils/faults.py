@@ -33,7 +33,19 @@ __all__ = ["KNOWN_FAULTS", "active_faults", "inject", "is_active"]
 #: has more than ``k`` children.  The vectorized kernel and the MILP
 #: oracle are unaffected, which is exactly what the differential engine
 #: must detect.
-KNOWN_FAULTS: FrozenSet[str] = frozenset({"tm.loop.topk-order"})
+#:
+#: ``serve.drop_cache_entry`` — every lookup in the serve-layer result
+#: cache (:class:`repro.serve.cache.LruCache`) discards its entry and
+#: reports a miss, simulating a production cache wipe.  The service must
+#: absorb this as extra cold solves (degraded throughput, hit counter
+#: pinned at zero) without deadlocking or erroring — proven in
+#: ``tests/test_failure_injection.py``.
+KNOWN_FAULTS: FrozenSet[str] = frozenset(
+    {
+        "tm.loop.topk-order",
+        "serve.drop_cache_entry",
+    }
+)
 
 _active: Set[str] = set()
 

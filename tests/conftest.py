@@ -19,6 +19,22 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression files (tests/goldens/) from the "
+        "current solver output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite golden files instead of asserting."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def simple_jobs() -> JobSet:
     """Five hand-checkable jobs used across the substrate tests.

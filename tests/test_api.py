@@ -25,7 +25,12 @@ from repro.scheduling.job import JobSet
 
 
 def test_api_all_snapshot():
-    assert api.__all__ == ["SolveResult", "solve_k_bounded", "price_of_bounded_preemption"]
+    assert api.__all__ == [
+        "SolveResult",
+        "request_key",
+        "solve_k_bounded",
+        "price_of_bounded_preemption",
+    ]
 
 
 def test_solve_k_bounded_signature_snapshot():
@@ -42,6 +47,14 @@ def test_solve_k_bounded_signature_snapshot():
 def test_price_signature_snapshot():
     sig = inspect.signature(price_of_bounded_preemption)
     assert str(sig) == "(jobs: 'JobSet', k: 'int', *, machines: 'int' = 1) -> 'PriceMeasurement'"
+
+
+def test_request_key_signature_snapshot():
+    sig = inspect.signature(api.request_key)
+    assert str(sig) == (
+        "(jobs: 'JobSet', k: 'int', *, machines: 'int' = 1, "
+        "method: 'str' = 'auto') -> 'str'"
+    )
 
 
 def test_solve_result_fields():

@@ -19,8 +19,11 @@ from repro.instances.lower_bounds import appendix_a_forest
 
 class TestBoundFormulas:
     def test_loss_bound_basic(self):
-        assert bas_loss_bound(8, 1) == pytest.approx(3.0)
-        assert bas_loss_bound(9, 2) == pytest.approx(2.0)
+        # ⌊log_{k+1} n⌋ + 1: the exact Lemma 3.18 layer count.
+        assert bas_loss_bound(8, 1) == pytest.approx(4.0)
+        assert bas_loss_bound(9, 2) == pytest.approx(3.0)
+        assert bas_loss_bound(7, 1) == pytest.approx(3.0)
+        assert bas_loss_bound(8, 2) == pytest.approx(2.0)
 
     def test_loss_bound_clamped(self):
         assert bas_loss_bound(1, 1) == 1.0

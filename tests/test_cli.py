@@ -47,3 +47,94 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "frobnicate" in err
+
+
+class TestFuzzErrorPaths:
+    def test_bad_replay_file_exits_2_with_stderr(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["fuzz", "--replay", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot replay" in err and "nope.json" in err
+
+    def test_unparseable_replay_file_exits_2(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["fuzz", "--replay", str(garbage)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot replay" in err
+
+    def test_smoke_contradicts_instances(self, capsys):
+        assert main(["fuzz", "--smoke", "--instances", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "--smoke" in err and "--instances" in err
+
+    def test_replay_contradicts_fuzz_flags(self, capsys, tmp_path):
+        case = tmp_path / "case.json"
+        case.write_text("{}")
+        assert main(["fuzz", "--replay", str(case), "--smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "--replay" in err and "--smoke" in err
+        assert (
+            main(["fuzz", "--replay", str(case), "--inject-fault", "tm.loop.topk-order"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "--inject-fault" in err
+
+    def test_unknown_fault_rejected_before_fuzzing(self, capsys):
+        assert main(["fuzz", "--inject-fault", "no.such.fault"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault" in err and "no.such.fault" in err
+
+    def test_list_oracles_includes_serve_pair(self, capsys):
+        assert main(["fuzz", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "served-vs-direct" in out
+
+
+class TestServeBench:
+    def test_serve_bench_reports_speedup(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve-bench", "--requests", "60", "--seed", "7",
+                    "--corpus", "6", "--n", "8", "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "cached p50 speedup" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["requests"] == 60
+        assert payload["stats"]["hits"] == 60
+        assert payload["cached_p50_ms"] > 0
+        assert payload["p50_speedup"] > 1
+
+    def test_serve_bench_min_speedup_gate(self, capsys):
+        # An impossible gate must flip the exit code, not crash.
+        assert (
+            main(
+                [
+                    "serve-bench", "--requests", "20", "--corpus", "4",
+                    "--n", "6", "--min-speedup", "1e9",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "below required" in err
+
+    def test_serve_bench_rejects_bad_requests(self, capsys):
+        assert main(["serve-bench", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err

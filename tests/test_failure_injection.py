@@ -120,6 +120,59 @@ def test_random_corruptions_always_caught(smk):
     assert not verify_schedule(bad).feasible
 
 
+class TestServeFaultInjection:
+    """The ``serve.drop_cache_entry`` fault: a simulated production cache
+    wipe.  The service must absorb it as pure cold-solve throughput — same
+    answers, zero hits, no errors, no deadlock — and recover the moment the
+    fault disarms."""
+
+    def test_fault_is_catalogued(self):
+        from repro.utils.faults import KNOWN_FAULTS
+
+        assert "serve.drop_cache_entry" in KNOWN_FAULTS
+
+    def test_cache_wipe_degrades_but_never_crashes(self):
+        from repro.api import solve_k_bounded
+        from repro.instances import random_jobs
+        from repro.serve import SolverService
+        from repro.utils import faults
+
+        corpus = [(random_jobs(8, seed=40 + i), 1 + i % 2) for i in range(4)]
+        expected = {i: solve_k_bounded(jobs, k).value for i, (jobs, k) in enumerate(corpus)}
+
+        with SolverService(workers=2) as svc:
+            with faults.inject("serve.drop_cache_entry"):
+                for _round in range(3):
+                    for i, (jobs, k) in enumerate(corpus):
+                        result = svc.solve(jobs, k, timeout=60)
+                        assert result.value == expected[i]
+                armed = svc.stats()
+            # Fault disarmed: the next pass repopulates and then hits.
+            for i, (jobs, k) in enumerate(corpus):
+                assert svc.solve(jobs, k, timeout=60).value == expected[i]
+            for i, (jobs, k) in enumerate(corpus):
+                assert svc.solve(jobs, k, timeout=60).value == expected[i]
+            recovered = svc.stats()
+
+        # Armed: every lookup missed (the wipe), nothing failed.
+        assert armed["hits"] == 0
+        assert armed["misses"] == 12
+        assert armed["errors"] == 0 and armed["degraded"] == 0
+        # Disarmed: the second post-fault pass was served from cache again.
+        assert recovered["hits"] >= 4
+        assert recovered["errors"] == 0
+
+    def test_cache_unit_behaviour_under_fault(self):
+        from repro.serve import LruCache
+        from repro.utils import faults
+
+        cache = LruCache(4)
+        cache.put("key", 123)
+        with faults.inject("serve.drop_cache_entry"):
+            assert cache.get("key") is None  # dropped, reported as a miss
+        assert cache.get("key") is None  # entry is gone, not just hidden
+
+
 class TestBasCorruption:
     @pytest.fixture
     def forest(self):

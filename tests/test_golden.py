@@ -1,0 +1,119 @@
+"""Golden regression: pinned SolveResult scalars on the paper's fixture set.
+
+Every fixture is a deterministic instance family from the paper (plus two
+seeded randoms), solved through the public facade; the goldens pin
+``SolveResult.value``, ``preemptions_used`` and the resolved ``method`` as
+committed JSON.  Any solver change that moves one of these numbers fails
+here with a field-level diff — and writes the freshly computed values to
+``solve_results.actual.json`` next to the golden, which CI uploads as an
+artifact so the drift can be inspected without re-running locally.
+
+Intentional changes re-pin with::
+
+    pytest tests/test_golden.py --update-goldens
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import solve_k_bounded
+from repro.instances import (
+    anti_budget_edf,
+    appendix_b_jobs,
+    dhall_instance,
+    geometric_chain,
+    laminar_job_chain,
+    random_jobs,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "solve_results.json"
+ACTUAL_PATH = GOLDEN_PATH.with_suffix(".actual.json")
+
+# Fixture registry: name -> () -> (jobs, k, machines).  Names are stable —
+# R1..R7 are referenced from docs/TESTING.md and the CI artifact step.
+FIXTURES = {
+    # k = 0 on the Figure-2 geometric chain: the canonical non-preemptive
+    # lower-bound family.
+    "R1-geometric-chain-k0": lambda: (geometric_chain(6), 0, 1),
+    # The same chain family with one allowed preemption.
+    "R2-geometric-chain-k1": lambda: (geometric_chain(8), 1, 1),
+    # Appendix B's nested lower-bound instance at (k=2, L=2).
+    "R3-appendix-b-nested": lambda: (appendix_b_jobs(2, 2).jobs, 2, 1),
+    # A layered K-ary laminar chain (depth 3, branching 2).
+    "R4-laminar-kary": lambda: (laminar_job_chain(3, 2, seed=5), 1, 1),
+    # Seeded random mixed-laxity instance through the full pipeline.
+    "R5-random-mixed": lambda: (random_jobs(12, seed=11), 2, 1),
+    # The anti-greedy budget-EDF adversarial family.
+    "R6-anti-budget-edf": lambda: (anti_budget_edf(2), 2, 1),
+    # Dhall-style multi-machine instance on two machines.
+    "R7-dhall-m2": lambda: (dhall_instance(2), 1, 2),
+}
+
+
+def _solve_all() -> dict:
+    out = {}
+    for name, make in FIXTURES.items():
+        jobs, k, machines = make()
+        result = solve_k_bounded(jobs, k, machines=machines)
+        out[name] = {
+            "n": jobs.n,
+            "k": k,
+            "machines": machines,
+            "value": result.value,
+            "preemptions_used": result.preemptions_used,
+            "method": result.method,
+        }
+    return out
+
+
+def test_golden_solve_results(update_goldens):
+    actual = _solve_all()
+    if update_goldens:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        ACTUAL_PATH.unlink(missing_ok=True)
+        return
+
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}; generate it with "
+        "pytest tests/test_golden.py --update-goldens"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    diffs = []
+    for name in sorted(set(golden) | set(actual)):
+        if name not in golden:
+            diffs.append(f"{name}: fixture has no golden entry")
+            continue
+        if name not in actual:
+            diffs.append(f"{name}: golden entry has no fixture")
+            continue
+        for field in sorted(set(golden[name]) | set(actual[name])):
+            want = golden[name].get(field)
+            got = actual[name].get(field)
+            if want != got:
+                diffs.append(f"{name}.{field}: golden {want!r} != actual {got!r}")
+    if diffs:
+        # Leave the freshly computed values beside the golden so CI can
+        # upload them as an artifact (and a human can eyeball the drift).
+        ACTUAL_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.fail(
+            "golden regression ({} mismatch(es); wrote {}):\n  {}".format(
+                len(diffs), ACTUAL_PATH.name, "\n  ".join(diffs)
+            )
+        )
+    ACTUAL_PATH.unlink(missing_ok=True)
+
+
+def test_golden_file_is_sorted_and_complete():
+    """The committed golden stays diff-friendly: sorted keys, every fixture
+    present, no stray entries."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert list(golden) == sorted(golden)
+    assert set(golden) == set(FIXTURES)
+    for name, entry in golden.items():
+        assert set(entry) == {"n", "k", "machines", "value", "preemptions_used", "method"}, name
+        assert entry["value"] > 0, name
+        assert entry["preemptions_used"] <= entry["k"], name

@@ -112,7 +112,7 @@ def test_run_bench_appends_and_returns_current_run(tmp_path, monkeypatch):
 
     for name in (
         "bench_tm_kernels", "bench_sweep_engine", "bench_edf_cache",
-        "bench_forest_traversals", "bench_tracer_overhead",
+        "bench_forest_traversals", "bench_tracer_overhead", "bench_serve_cache",
     ):
         monkeypatch.setattr(perf, name, lambda **kw: [])
     out = tmp_path / "BENCH_perf.json"
@@ -129,7 +129,7 @@ def test_run_bench_out_none_writes_nothing(tmp_path, monkeypatch):
 
     for name in (
         "bench_tm_kernels", "bench_sweep_engine", "bench_edf_cache",
-        "bench_forest_traversals", "bench_tracer_overhead",
+        "bench_forest_traversals", "bench_tracer_overhead", "bench_serve_cache",
     ):
         monkeypatch.setattr(perf, name, lambda **kw: [])
     monkeypatch.chdir(tmp_path)

@@ -15,8 +15,11 @@ from repro.core.pricing import (
 
 class TestBoundFormulas:
     def test_bound_n(self):
-        assert price_bound_n(8, 1) == pytest.approx(3.0)
-        assert price_bound_n(27, 2) == pytest.approx(3.0)
+        # ⌊log_{k+1} n⌋ + 1, exact integer arithmetic (Lemma 3.18 layers).
+        assert price_bound_n(8, 1) == pytest.approx(4.0)
+        assert price_bound_n(27, 2) == pytest.approx(4.0)
+        assert price_bound_n(7, 1) == pytest.approx(3.0)
+        assert price_bound_n(26, 2) == pytest.approx(3.0)
 
     def test_bound_n_clamped(self):
         assert price_bound_n(1, 1) == 1.0
@@ -47,12 +50,12 @@ class TestMeasuredPrice:
 
     def test_derived_bound_n_only(self):
         m = measured_price(10.0, 5.0, n=8, k=1)
-        assert m.bound == pytest.approx(3.0)
+        assert m.bound == pytest.approx(4.0)
 
     def test_derived_bound_takes_min(self):
         # P bound (with its 2*6 constant) vs n bound: min wins.
         m = measured_price(10.0, 5.0, n=8, P=2.0, k=1)
-        assert m.bound == pytest.approx(min(3.0, 12.0))
+        assert m.bound == pytest.approx(min(4.0, 12.0))
 
     def test_k0_bound(self):
         m = measured_price(10.0, 5.0, n=4, P=16.0, k=0)

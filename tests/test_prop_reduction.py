@@ -1,10 +1,9 @@
 """Property-based tests for the full reduction pipeline (Theorem 4.2)."""
 
-import math
-
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.pricing import price_bound_n
 from repro.core.reduction import (
     forest_to_schedule,
     reduce_schedule_to_k_preemptive,
@@ -25,9 +24,12 @@ def test_reduction_feasible_and_within_budget(sched, k):
 
 @given(feasible_schedules(), st.integers(min_value=1, max_value=3))
 def test_reduction_value_guarantee(sched, k):
+    # Theorem 4.2's provable factor is the integer layer bound (the 4-job
+    # uniform nest — one wrapper around three inner jobs — loses 4/3 at
+    # k=2, above the raw log_3 4 the asymptotic statement suggests).
     out = reduce_schedule_to_k_preemptive(sched, k)
     n = len(sched)
-    bound = max(1.0, math.log(n) / math.log(k + 1)) if n > 1 else 1.0
+    bound = price_bound_n(n, k) if n > 1 else 1.0
     assert out.value * bound >= sched.value * (1 - 1e-9)
 
 

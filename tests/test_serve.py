@@ -1,0 +1,395 @@
+"""The batch solver service (repro.serve), end to end.
+
+The tentpole proof is the stress test: 16 client threads fire 200 requests
+each over a 20-instance corpus through one shared service, and afterwards
+the test asserts the service's whole contract at once — no deadlock, a
+cache-hit ratio above 0.8, at least one coalesced request, every distinct
+answer certificate-verified, and agreement with the direct facade solve.
+The rest of the file pins the pieces the stress test composes: canonical
+keys, the LRU cache, coalescing determinism (gated solve), retry and
+deadline-degradation semantics.
+"""
+
+import threading
+import time
+from concurrent.futures import wait
+from fractions import Fraction
+from random import Random
+
+import pytest
+
+from repro.api import request_key, solve_k_bounded
+from repro.instances import random_jobs
+from repro.scheduling.job import Job, JobSet
+from repro.scheduling.verify import verify_schedule
+from repro.serve import LruCache, ServiceClosed, SolverService
+
+
+# ---------------------------------------------------------------------------
+# canonical keys
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalKey:
+    def test_order_independent(self):
+        a = JobSet([Job(0, 0, 10, 3), Job(1, 1, 6, 2), Job(2, 2, 9, 4)])
+        b = JobSet([Job(2, 2, 9, 4), Job(0, 0, 10, 3), Job(1, 1, 6, 2)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_numeric_type_normalized(self):
+        a = JobSet([Job(0, 0, 10, 3), Job(1, 1, 6, 2)])
+        b = JobSet([Job(0, 0.0, Fraction(10), 3.0), Job(1, Fraction(1), 6, 2.0)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_exact_fractions_distinguished(self):
+        # 1/3 is not representable as a float; the exact instance must not
+        # collide with its float approximation.
+        a = JobSet([Job(0, 0, 10, Fraction(10, 3))])
+        b = JobSet([Job(0, 0, 10, 10 / 3)])
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_ids_participate(self):
+        a = JobSet([Job(0, 0, 10, 3)])
+        b = JobSet([Job(7, 0, 10, 3)])
+        assert a.canonical_key() != b.canonical_key()
+
+    @pytest.mark.parametrize("field", ["release", "deadline", "length", "value"])
+    def test_every_coordinate_matters(self, field):
+        base = dict(id=0, release=2, deadline=20, length=4, value=5)
+        a = JobSet([Job(**base)])
+        bumped = dict(base)
+        bumped[field] += 1
+        b = JobSet([Job(**bumped)])
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_no_collisions_over_seeded_corpus(self):
+        """A few hundred structurally nearby instances must all hash apart."""
+        rng = Random(2018)
+        keys = {}
+        for i in range(300):
+            n = rng.randint(1, 8)
+            jobs = []
+            for j in range(n):
+                r = rng.randint(0, 12)
+                p = rng.randint(1, 6)
+                slack = rng.randint(0, 6)
+                v = rng.choice([1, 2, 3, Fraction(1, 2), 1.5])
+                jobs.append(Job(j, r, r + p + slack, p, v))
+            js = JobSet(jobs)
+            key = js.canonical_key()
+            if key in keys:
+                assert keys[key].canonical_key() == js.canonical_key()
+                # Same key must mean the same canonical multiset: re-check
+                # via the sorted exact serialisation both sides hash.
+                same = sorted(
+                    (Fraction(a.release), Fraction(a.deadline), Fraction(a.length), Fraction(a.value), a.id)
+                    for a in keys[key]
+                ) == sorted(
+                    (Fraction(a.release), Fraction(a.deadline), Fraction(a.length), Fraction(a.value), a.id)
+                    for a in js
+                )
+                assert same, f"collision between distinct instances at case {i}"
+            keys[key] = js
+
+    def test_request_key_separates_parameters(self):
+        jobs = JobSet([Job(0, 0, 10, 3)])
+        keys = {
+            request_key(jobs, 1),
+            request_key(jobs, 2),
+            request_key(jobs, 1, machines=2),
+            request_key(jobs, 1, method="lsa"),
+        }
+        assert len(keys) == 4
+
+    def test_request_key_rejects_unknown_method(self):
+        jobs = JobSet([Job(0, 0, 10, 3)])
+        with pytest.raises(ValueError):
+            request_key(jobs, 1, method="nope")
+
+
+# ---------------------------------------------------------------------------
+# the LRU cache
+# ---------------------------------------------------------------------------
+
+
+class TestLruCache:
+    def test_capacity_enforced_lru_order(self):
+        cache = LruCache(2)
+        assert cache.put("a", 1) == 0
+        assert cache.put("b", 2) == 0
+        assert cache.get("a") == 1  # refreshes a; b is now the LRU entry
+        assert cache.put("c", 3) == 1
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_overwrite_does_not_evict(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.put("a", 10) == 0
+        assert cache.get("a") == 10 and cache.get("b") == 2
+
+    def test_miss_is_none(self):
+        assert LruCache(1).get("missing") is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+
+# ---------------------------------------------------------------------------
+# service semantics (deterministic, single-threaded where possible)
+# ---------------------------------------------------------------------------
+
+
+def _corpus(count: int, n: int = 10, seed: int = 7):
+    return [(random_jobs(n, seed=seed + i), 1 + i % 2) for i in range(count)]
+
+
+class TestServiceSemantics:
+    def test_hit_equals_direct_solve(self):
+        jobs, k = _corpus(1)[0]
+        direct = solve_k_bounded(jobs, k)
+        with SolverService(workers=2) as svc:
+            cold = svc.solve(jobs, k)
+            hit = svc.solve(jobs, k)
+        assert cold.value == hit.value == direct.value
+        assert cold.preemptions_used == direct.preemptions_used
+        assert not cold.degraded and not hit.degraded
+        assert hit.metrics["served.hit"] == 1.0
+        assert "served.hit" not in cold.metrics
+
+    def test_permuted_instance_hits_cache(self):
+        jobs, k = _corpus(1)[0]
+        permuted = JobSet(reversed(list(jobs)))
+        with SolverService(workers=1) as svc:
+            svc.solve(jobs, k)
+            again = svc.solve(permuted, k)
+            stats = svc.stats()
+        assert again.metrics["served.hit"] == 1.0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_coalescing_shares_one_inflight_solve(self):
+        """Duplicates submitted while the leader is gated all share its future
+        and the underlying solver runs exactly once."""
+        jobs, k = _corpus(1)[0]
+        gate = threading.Event()
+        calls = []
+
+        def gated(jobs_, k_, *, machines=1, method="auto"):
+            calls.append(method)
+            assert gate.wait(timeout=30), "gate never opened"
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+
+        with SolverService(workers=2, solve_fn=gated) as svc:
+            futs = [svc.submit(jobs, k) for _ in range(6)]
+            assert len({id(f) for f in futs}) == 1
+            assert svc.stats()["coalesced"] == 5
+            gate.set()
+            done, not_done = wait(futs, timeout=30)
+            assert not not_done
+        assert len(calls) == 1
+        values = {f.result().value for f in futs}
+        assert values == {solve_k_bounded(jobs, k).value}
+
+    def test_submission_after_completion_is_a_hit_not_coalesced(self):
+        jobs, k = _corpus(1)[0]
+        with SolverService(workers=1) as svc:
+            svc.solve(jobs, k)
+            svc.solve(jobs, k)
+            stats = svc.stats()
+        assert stats["coalesced"] == 0 and stats["hits"] == 1
+
+    def test_retry_once_on_failure(self):
+        jobs, k = _corpus(1)[0]
+        attempts = []
+
+        def flaky(jobs_, k_, *, machines=1, method="auto"):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+
+        with SolverService(workers=1, solve_fn=flaky) as svc:
+            result = svc.solve(jobs, k)
+            stats = svc.stats()
+        assert len(attempts) == 2
+        assert result.value == solve_k_bounded(jobs, k).value
+        assert result.metrics["served.retries"] == 1.0
+        assert stats["retries"] == 1 and stats["errors"] == 0
+
+    def test_persistent_failure_surfaces_after_one_retry(self):
+        jobs, k = _corpus(1)[0]
+        attempts = []
+
+        def broken(jobs_, k_, *, machines=1, method="auto"):
+            attempts.append(1)
+            raise RuntimeError("permanent")
+
+        with SolverService(workers=1, solve_fn=broken) as svc:
+            fut = svc.submit(jobs, k)
+            with pytest.raises(RuntimeError, match="permanent"):
+                fut.result(timeout=30)
+            stats = svc.stats()
+        assert len(attempts) == 2
+        assert stats["errors"] == 1
+        # A failed request must not poison the cache or the in-flight table.
+        assert stats["cache_size"] == 0 and stats["inflight"] == 0
+
+    def test_deadline_degrades_to_lsa(self):
+        jobs, k = _corpus(1)[0]
+
+        def slow_full(jobs_, k_, *, machines=1, method="auto"):
+            if method != "lsa":
+                time.sleep(2.0)
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+
+        with SolverService(workers=1, solve_fn=slow_full) as svc:
+            result = svc.solve(jobs, k, deadline_ms=50)
+            stats = svc.stats()
+        assert result.degraded
+        assert result.metrics["served.degraded"] == 1.0
+        assert result.metrics["served.timeouts"] == 1.0
+        assert stats["degraded"] == 1 and stats["timeouts"] == 1
+        # Degraded is still a real, feasible, k-bounded answer.
+        verify_schedule(result.schedule, k=k).assert_ok()
+        assert result.value <= solve_k_bounded(jobs, k).value
+
+    def test_generous_deadline_not_degraded(self):
+        jobs, k = _corpus(1)[0]
+        with SolverService(workers=1) as svc:
+            result = svc.solve(jobs, k, deadline_ms=60_000)
+        assert not result.degraded
+        assert result.value == solve_k_bounded(jobs, k).value
+
+    def test_eviction_counted(self):
+        corpus = _corpus(4)
+        with SolverService(workers=1, cache_size=2) as svc:
+            for jobs, k in corpus:
+                svc.solve(jobs, k)
+            stats = svc.stats()
+        assert stats["evictions"] == 2 and stats["cache_size"] == 2
+
+    def test_submit_validates_in_caller_thread(self):
+        jobs, _ = _corpus(1)[0]
+        with SolverService(workers=1) as svc:
+            with pytest.raises(ValueError):
+                svc.submit(jobs, -1)
+            with pytest.raises(ValueError):
+                svc.submit(jobs, 1, machines=0)
+            with pytest.raises(ValueError):
+                svc.submit(jobs, 1, method="nope")
+            assert svc.stats()["requests"] == 0
+
+    def test_closed_service_rejects_submissions(self):
+        jobs, k = _corpus(1)[0]
+        svc = SolverService(workers=1)
+        svc.shutdown()
+        with pytest.raises(ServiceClosed):
+            svc.submit(jobs, k)
+
+    def test_tracer_collects_serve_counters_and_spans(self):
+        from repro.obs.tracer import Tracer
+
+        jobs, k = _corpus(1)[0]
+        tracer = Tracer()
+        with SolverService(workers=1, tracer=tracer) as svc:
+            svc.solve(jobs, k)
+            svc.solve(jobs, k)
+        assert tracer.counters["serve.requests"] == 2
+        assert tracer.counters["serve.misses"] == 1
+        assert tracer.counters["serve.hits"] == 1
+        roots = [s.name for s in tracer.roots]
+        assert "serve.request" in roots
+
+
+# ---------------------------------------------------------------------------
+# the stress test (the tentpole's acceptance proof)
+# ---------------------------------------------------------------------------
+
+STRESS_THREADS = 16
+STRESS_REQUESTS_PER_THREAD = 200
+STRESS_CORPUS = 20
+
+
+def test_stress_concurrent_clients():
+    """16 threads x 200 requests over a 20-instance corpus: no deadlock,
+    hit ratio > 0.8, coalescing observed, every certificate re-verifies."""
+    corpus = _corpus(STRESS_CORPUS)
+    direct = {
+        request_key(jobs, k): solve_k_bounded(jobs, k) for jobs, k in corpus
+    }
+
+    warm = threading.Event()
+
+    def first_solve_slowly(jobs_, k_, *, machines=1, method="auto"):
+        # Hold the very first cold solve open long enough for the barrier'd
+        # clients to pile onto its key, making coalescing deterministic.
+        result = solve_k_bounded(jobs_, k_, machines=machines, method=method)
+        if not warm.is_set():
+            time.sleep(0.2)
+            warm.set()
+        return result
+
+    barrier = threading.Barrier(STRESS_THREADS)
+    results = [None] * STRESS_THREADS
+    errors = []
+
+    with SolverService(workers=8, cache_size=64, solve_fn=first_solve_slowly) as svc:
+
+        def client(tid: int) -> None:
+            rng = Random(1000 + tid)
+            mine = []
+            try:
+                barrier.wait(timeout=30)
+                # Every client opens on corpus[0]: one leader, the rest
+                # coalesce onto its in-flight future.
+                jobs, k = corpus[0]
+                mine.append((request_key(jobs, k), svc.solve(jobs, k, timeout=60)))
+                for _ in range(STRESS_REQUESTS_PER_THREAD - 1):
+                    jobs, k = corpus[rng.randrange(len(corpus))]
+                    mine.append((request_key(jobs, k), svc.solve(jobs, k, timeout=60)))
+            except Exception as exc:  # noqa: BLE001 - reported by the main thread
+                errors.append((tid, exc))
+            results[tid] = mine
+
+        threads = [
+            threading.Thread(target=client, args=(tid,), name=f"client-{tid}")
+            for tid in range(STRESS_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        stuck = [t.name for t in threads if t.is_alive()]
+        assert not stuck, f"deadlocked clients: {stuck}"
+        assert not errors, f"client failures: {errors[:3]}"
+        stats = svc.stats()
+
+    total = STRESS_THREADS * STRESS_REQUESTS_PER_THREAD
+    assert stats["requests"] == total
+    assert stats["inflight"] == 0
+    assert stats["errors"] == 0 and stats["degraded"] == 0
+
+    # Cache effectiveness: with 20 unique keys over 3200 requests almost
+    # everything must be served from cache.
+    hit_ratio = stats["hits"] / stats["requests"]
+    assert hit_ratio > 0.8, f"hit ratio {hit_ratio:.3f} (stats: {stats})"
+
+    # Coalescing must actually have happened (the opening pile-up guarantees
+    # concurrent duplicates while corpus[0]'s leader is still in flight).
+    assert stats["coalesced"] > 0, f"no coalesced requests (stats: {stats})"
+    assert stats["hits"] + stats["misses"] + stats["coalesced"] == total
+
+    # Every answer matches the direct solve and re-verifies its certificate.
+    seen_keys = set()
+    for mine in results:
+        assert mine is not None
+        for key, result in mine:
+            assert result.value == direct[key].value, key
+            assert not result.degraded
+            if key not in seen_keys:
+                seen_keys.add(key)
+                k = next(kk for jobs, kk in corpus if request_key(jobs, kk) == key)
+                verify_schedule(result.schedule, k=k).assert_ok()
+    assert seen_keys == set(direct)
