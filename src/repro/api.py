@@ -121,7 +121,7 @@ def request_key(jobs: JobSet, k: int, *, machines: int = 1, method: str = "auto"
     return f"{jobs.canonical_key()}:k={k}:m={machines}:method={method}"
 
 
-def _solve_single(jobs: JobSet, k: int, method: str) -> Schedule:
+def _solve_single(jobs: JobSet, k: int, method: str, enforce_laxity: bool) -> Schedule:
     if method in ("auto", "combined"):
         if k == 0:
             return nonpreemptive_combined(jobs)
@@ -133,10 +133,7 @@ def _solve_single(jobs: JobSet, k: int, method: str) -> Schedule:
     if method == "lsa":
         if k == 0:
             return nonpreemptive_combined(jobs)
-        # Out-of-spec (strict) jobs are admitted: the greedy placement is
-        # always feasible, and a total cheap method is what the serve layer
-        # degrades to when a deadline expires.
-        return lsa_cs(jobs, k=k, enforce_laxity=False)
+        return lsa_cs(jobs, k=k, enforce_laxity=enforce_laxity)
     raise ValueError(f"unknown method {method!r} (want one of {METHODS})")
 
 
@@ -146,6 +143,7 @@ def solve_k_bounded(
     *,
     machines: int = 1,
     method: str = "auto",
+    enforce_laxity: bool = True,
 ) -> SolveResult:
     """Solve the k-bounded-preemption throughput problem, uniformly.
 
@@ -157,9 +155,15 @@ def solve_k_bounded(
       OPT_∞ input (the library's default pipeline);
     * ``"reduction"`` — the §4.1 schedule→forest→k-BAS reduction applied to
       the whole best ∞-preemptive schedule;
-    * ``"lsa"`` — classify-and-select LSA only; total on any instance (the
-      Lemma 4.10 guarantee covers the lax fraction) and the cheapest
-      pipeline, which is why the serve layer degrades to it.
+    * ``"lsa"`` — classify-and-select LSA only; by default rejects strict
+      (λ < k+1) jobs so the Lemma 4.10 guarantee covers the whole
+      instance.
+
+    ``enforce_laxity`` applies to ``method="lsa"`` only (the other
+    pipelines never require laxity): ``False`` admits strict jobs too —
+    the greedy placement stays feasible on any input, the value guarantee
+    then covers only the lax fraction.  That total-on-any-instance mode is
+    what the serve layer degrades to when a deadline expires.
 
     The solve always runs traced: under the caller's tracer when one is
     active (spans join the caller's trace), else under a private tracer.
@@ -196,7 +200,7 @@ def solve_k_bounded(
                     schedule = multimachine_k_bounded(jobs, k=k, machines=machines)
                 resolved = "multimachine"
             else:
-                schedule = _solve_single(jobs, k, method)
+                schedule = _solve_single(jobs, k, method, enforce_laxity)
                 resolved = "combined" if method == "auto" else method
             root.attrs["resolved_method"] = resolved
         wall_ms = root.duration_ms

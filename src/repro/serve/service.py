@@ -10,11 +10,15 @@ sweep cells and paper instances get re-requested constantly):
   representation-independent);
 * **request coalescing** — concurrent submissions of the same key share
   one in-flight solve: followers get the leader's future instead of a
-  duplicate worker;
+  duplicate worker.  Coalescing is deadline-compatible: a request without
+  a deadline never attaches to a deadline-bound leader (whose answer may
+  be degraded) — it starts its own full solve and becomes the key's new
+  leader;
 * **deadline-driven degradation** — a request with a ``deadline_ms``
   budget that the full pipeline exceeds falls back to the LSA pipeline
   (fast, value-safe, still certificate-valid) and the result is flagged
-  with ``metrics["served.degraded"]``.
+  with ``metrics["served.degraded"]``.  Degraded results are never
+  cached: the cache key promises the full-pipeline artifact.
 
 The API is synchronous-friendly: :meth:`SolverService.submit` returns a
 :class:`concurrent.futures.Future` resolving to a
@@ -38,7 +42,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.api import SolveResult, request_key, solve_k_bounded
 from repro.obs.tracer import Tracer, current_tracer
@@ -97,7 +101,10 @@ class SolverService:
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._cache = LruCache(cache_size)
-        self._inflight: Dict[str, Future] = {}
+        # key -> (leader future, leader deadline_ms); the deadline is kept so
+        # coalescing can refuse to hand a possibly-degraded answer to a
+        # request that did not opt into one.
+        self._inflight: Dict[str, Tuple[Future, Optional[float]]] = {}
         self._lock = threading.Lock()
         self._stats: Dict[str, int] = {name: 0 for name in _STAT_NAMES}
         self._tracer = tracer if tracer is not None else current_tracer()
@@ -134,9 +141,12 @@ class SolverService:
 
         Cache hits resolve immediately (the result carries
         ``metrics["served.hit"]``); a duplicate of an in-flight request
-        shares the leader's future; everything else dispatches to the
-        worker pool.  Argument validation errors raise here, in the
-        caller's thread — only solver failures travel through the future.
+        shares the leader's future when their deadlines are compatible (a
+        no-deadline request never rides a deadline-bound leader, whose
+        answer may be degraded — it replaces it as the key's leader);
+        everything else dispatches to the worker pool.  Argument
+        validation errors raise here, in the caller's thread — only solver
+        failures travel through the future.
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -157,16 +167,34 @@ class SolverService:
                 done: "Future[SolveResult]" = Future()
                 done.set_result(cached.with_metrics({"served.hit": 1.0}))
                 return done
-            leader = self._inflight.get(key)
-            if leader is not None:
-                self._stats["coalesced"] += 1
-                self._count_tracer("serve.coalesced")
-                return leader
+            entry = self._inflight.get(key)
+            if entry is not None:
+                lead_fut, lead_deadline = entry
+                if deadline_ms is not None or lead_deadline is None:
+                    self._stats["coalesced"] += 1
+                    self._count_tracer("serve.coalesced")
+                    return lead_fut
+                # A no-deadline request must get the full-pipeline answer;
+                # fall through to dispatch a fresh solve that replaces the
+                # deadline-bound leader (later followers share the better
+                # future; the old leader resolves its own waiters).
             fut: "Future[SolveResult]" = Future()
-            self._inflight[key] = fut
+            self._inflight[key] = (fut, deadline_ms)
             self._stats["misses"] += 1
             self._count_tracer("serve.misses")
-        self._pool.submit(self._run, key, fut, jobs, k, machines, method, deadline_ms)
+        try:
+            self._pool.submit(
+                self._run, key, fut, jobs, k, machines, method, deadline_ms
+            )
+        except RuntimeError:
+            # shutdown() won the race between our _closed check and the pool
+            # dispatch; resolve the future so waiters (including any follower
+            # that coalesced in the meantime) are not stranded in result().
+            with self._lock:
+                self._drop_inflight(key, fut)
+            fut.set_exception(
+                ServiceClosed("service shut down while dispatching the request")
+            )
         return fut
 
     def solve(
@@ -204,6 +232,13 @@ class SolverService:
         if self._tracer is not None:
             self._tracer.count(name, delta)
 
+    def _drop_inflight(self, key: str, fut: "Future[SolveResult]") -> None:
+        # Caller must hold self._lock.  Pop only our own entry: a no-deadline
+        # request may have replaced us as the key's leader.
+        entry = self._inflight.get(key)
+        if entry is not None and entry[0] is fut:
+            del self._inflight[key]
+
     def _run(
         self,
         key: str,
@@ -232,7 +267,7 @@ class SolverService:
                 wall_ms = root.duration_ms
         except BaseException as exc:
             with self._lock:
-                self._inflight.pop(key, None)
+                self._drop_inflight(key, fut)
                 self._stats["errors"] += 1
                 self._count_tracer("serve.errors")
                 if self._tracer is not None:
@@ -242,8 +277,15 @@ class SolverService:
         served["served.wall_ms"] = float(wall_ms)
         result = result.with_metrics(served)
         with self._lock:
-            evicted = self._cache.put(key, result)
-            self._inflight.pop(key, None)
+            if served["served.degraded"]:
+                # Never cache a degraded answer: the cache key promises the
+                # full-pipeline artifact, and a poisoned entry would be
+                # served to later no-deadline requests with no recovery
+                # short of clear_cache().
+                evicted = 0
+            else:
+                evicted = self._cache.put(key, result)
+            self._drop_inflight(key, fut)
             self._stats["evictions"] += evicted
             self._stats["degraded"] += int(served["served.degraded"])
             self._stats["retries"] += int(served["served.retries"])
@@ -295,11 +337,13 @@ class SolverService:
         budget_s = max(0.0, float(deadline_ms) / 1e3)
         status, payload = _attempt_with_timeout(attempt, budget_s)
         if status == "error":
-            served["served.retries"] = 1.0
             remaining = budget_s - (time.perf_counter() - t0)
             if remaining > 0:
+                served["served.retries"] = 1.0
                 status, payload = _attempt_with_timeout(attempt, remaining)
             else:
+                # No budget left for a retry: degrade without counting a
+                # retry that never ran.
                 status, payload = "timeout", None
         if status == "ok":
             return payload, served
@@ -307,7 +351,11 @@ class SolverService:
             raise payload
         served["served.timeouts"] = 1.0
         served["served.degraded"] = 1.0
-        result = self._solve(jobs, k, machines=1, method="lsa")
+        # enforce_laxity=False keeps the fallback total: feasibility never
+        # needed the laxity bound, only the value guarantee does.
+        result = self._solve(
+            jobs, k, machines=1, method="lsa", enforce_laxity=False
+        )
         return result, served
 
 

@@ -37,11 +37,12 @@ def test_solve_k_bounded_signature_snapshot():
     sig = inspect.signature(solve_k_bounded)
     assert str(sig) == (
         "(jobs: 'JobSet', k: 'int', *, machines: 'int' = 1, "
-        "method: 'str' = 'auto') -> 'SolveResult'"
+        "method: 'str' = 'auto', enforce_laxity: 'bool' = True) -> 'SolveResult'"
     )
     kinds = {name: p.kind for name, p in sig.parameters.items()}
     assert kinds["machines"] == inspect.Parameter.KEYWORD_ONLY
     assert kinds["method"] == inspect.Parameter.KEYWORD_ONLY
+    assert kinds["enforce_laxity"] == inspect.Parameter.KEYWORD_ONLY
 
 
 def test_price_signature_snapshot():
@@ -119,6 +120,17 @@ def test_solve_rejects_bad_arguments():
         solve_k_bounded(jobs, 0, method="reduction")
     with pytest.raises(TypeError):
         solve_k_bounded(jobs, 1, 2)  # machines is keyword-only
+
+
+def test_lsa_method_enforces_laxity_by_default():
+    """method='lsa' keeps its historical strict-input validation; the serve
+    degradation path opts out explicitly with enforce_laxity=False."""
+    strict = repro.make_jobs([(0, 10, 9, 5.0)])  # λ = 10/9 < k + 1
+    with pytest.raises(ValueError, match="lax"):
+        solve_k_bounded(strict, 1, method="lsa")
+    relaxed = solve_k_bounded(strict, 1, method="lsa", enforce_laxity=False)
+    assert relaxed.method == "lsa"
+    assert relaxed.value >= 0
 
 
 def test_metrics_round_trip_with_tracer_sink():

@@ -176,10 +176,10 @@ class TestServiceSemantics:
         gate = threading.Event()
         calls = []
 
-        def gated(jobs_, k_, *, machines=1, method="auto"):
+        def gated(jobs_, k_, *, machines=1, method="auto", **kw):
             calls.append(method)
             assert gate.wait(timeout=30), "gate never opened"
-            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
 
         with SolverService(workers=2, solve_fn=gated) as svc:
             futs = [svc.submit(jobs, k) for _ in range(6)]
@@ -204,11 +204,11 @@ class TestServiceSemantics:
         jobs, k = _corpus(1)[0]
         attempts = []
 
-        def flaky(jobs_, k_, *, machines=1, method="auto"):
+        def flaky(jobs_, k_, *, machines=1, method="auto", **kw):
             attempts.append(1)
             if len(attempts) == 1:
                 raise RuntimeError("transient")
-            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
 
         with SolverService(workers=1, solve_fn=flaky) as svc:
             result = svc.solve(jobs, k)
@@ -222,7 +222,7 @@ class TestServiceSemantics:
         jobs, k = _corpus(1)[0]
         attempts = []
 
-        def broken(jobs_, k_, *, machines=1, method="auto"):
+        def broken(jobs_, k_, *, machines=1, method="auto", **kw):
             attempts.append(1)
             raise RuntimeError("permanent")
 
@@ -239,10 +239,10 @@ class TestServiceSemantics:
     def test_deadline_degrades_to_lsa(self):
         jobs, k = _corpus(1)[0]
 
-        def slow_full(jobs_, k_, *, machines=1, method="auto"):
+        def slow_full(jobs_, k_, *, machines=1, method="auto", **kw):
             if method != "lsa":
                 time.sleep(2.0)
-            return solve_k_bounded(jobs_, k_, machines=machines, method=method)
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
 
         with SolverService(workers=1, solve_fn=slow_full) as svc:
             result = svc.solve(jobs, k, deadline_ms=50)
@@ -254,6 +254,106 @@ class TestServiceSemantics:
         # Degraded is still a real, feasible, k-bounded answer.
         verify_schedule(result.schedule, k=k).assert_ok()
         assert result.value <= solve_k_bounded(jobs, k).value
+
+    def test_degraded_result_is_not_cached(self):
+        """A deadline-degraded answer must never poison the cache: a later
+        no-deadline request for the same key gets a fresh full solve, and
+        only that full result is cached."""
+        jobs, k = _corpus(1)[0]
+        slowed_once = threading.Event()
+
+        def slow_once(jobs_, k_, *, machines=1, method="auto", **kw):
+            if method != "lsa" and not slowed_once.is_set():
+                slowed_once.set()
+                time.sleep(0.5)
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
+
+        direct = solve_k_bounded(jobs, k)
+        with SolverService(workers=1, solve_fn=slow_once) as svc:
+            degraded = svc.solve(jobs, k, deadline_ms=50)
+            full = svc.solve(jobs, k)  # must NOT be served the degraded entry
+            hit = svc.solve(jobs, k)
+            stats = svc.stats()
+        assert degraded.degraded
+        assert not full.degraded and "served.hit" not in full.metrics
+        assert full.value == direct.value
+        assert full.preemptions_used == direct.preemptions_used
+        assert hit.metrics["served.hit"] == 1.0 and not hit.degraded
+        assert stats["misses"] == 2 and stats["hits"] == 1
+
+    def test_no_deadline_request_does_not_coalesce_onto_deadline_leader(self):
+        """A request without a deadline must not ride a deadline-bound
+        in-flight solve (it could be handed a degraded answer); it starts
+        its own full solve and becomes the key's new leader."""
+        jobs, k = _corpus(1)[0]
+        gate = threading.Event()
+
+        def gated(jobs_, k_, *, machines=1, method="auto", **kw):
+            assert gate.wait(timeout=30), "gate never opened"
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
+
+        with SolverService(workers=2, solve_fn=gated) as svc:
+            leader = svc.submit(jobs, k, deadline_ms=60_000)
+            follower = svc.submit(jobs, k)
+            bounded = svc.submit(jobs, k, deadline_ms=60_000)
+            assert follower is not leader
+            assert bounded is follower  # new leader, deadline-bound rides it
+            assert svc.stats()["misses"] == 2
+            assert svc.stats()["coalesced"] == 1
+            gate.set()
+            done, not_done = wait([leader, follower], timeout=30)
+            assert not not_done
+            stats = svc.stats()
+        direct = solve_k_bounded(jobs, k)
+        assert not follower.result().degraded
+        assert follower.result().value == direct.value
+        assert leader.result().value == direct.value
+        assert stats["inflight"] == 0
+
+    def test_shutdown_race_resolves_future_with_service_closed(self):
+        """If shutdown() wins the race between submit's closed-check and the
+        pool dispatch, the future must resolve with ServiceClosed instead of
+        stranding waiters forever."""
+        jobs, k = _corpus(1)[0]
+        svc = SolverService(workers=1)
+        # Close the pool out from under the service while _closed is still
+        # False — exactly the window a concurrent shutdown() can hit.
+        svc._pool.shutdown(wait=True)
+        fut = svc.submit(jobs, k)
+        with pytest.raises(ServiceClosed):
+            fut.result(timeout=10)
+        assert svc.stats()["inflight"] == 0
+        svc.shutdown()
+
+    def test_no_retry_counted_when_budget_already_spent(self, monkeypatch):
+        """An attempt that errors with no budget left degrades immediately;
+        served.retries must stay 0 for the retry that never ran."""
+        from repro.serve import service as service_mod
+
+        jobs, k = _corpus(1)[0]
+        clock = iter([0.0, 10.0])  # t0, then a reading far past the budget
+
+        class FakeTime:
+            perf_counter = staticmethod(lambda: next(clock))
+
+        attempts = []
+
+        def failing(jobs_, k_, *, machines=1, method="auto", **kw):
+            if method == "lsa":
+                return solve_k_bounded(
+                    jobs_, k_, machines=machines, method=method, **kw
+                )
+            attempts.append(1)
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service_mod, "time", FakeTime)
+        with SolverService(workers=1, solve_fn=failing) as svc:
+            result = svc.solve(jobs, k, deadline_ms=100)
+            stats = svc.stats()
+        assert len(attempts) == 1  # no second attempt without budget
+        assert result.degraded
+        assert result.metrics["served.retries"] == 0.0
+        assert stats["retries"] == 0 and stats["degraded"] == 1
 
     def test_generous_deadline_not_degraded(self):
         jobs, k = _corpus(1)[0]
@@ -322,10 +422,10 @@ def test_stress_concurrent_clients():
 
     warm = threading.Event()
 
-    def first_solve_slowly(jobs_, k_, *, machines=1, method="auto"):
+    def first_solve_slowly(jobs_, k_, *, machines=1, method="auto", **kw):
         # Hold the very first cold solve open long enough for the barrier'd
         # clients to pile onto its key, making coalescing deterministic.
-        result = solve_k_bounded(jobs_, k_, machines=machines, method=method)
+        result = solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
         if not warm.is_set():
             time.sleep(0.2)
             warm.set()
