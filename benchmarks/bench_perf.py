@@ -6,9 +6,13 @@ The machine-readable trajectory (``BENCH_perf.json``) is produced by
 pytest-benchmark and asserts the headline claims:
 
 * ``tm_values_vectorized`` ≥ 5× the reference loop at n = 10^5;
-* parallel and serial sweeps agree bit-for-bit (speed is workload- and
-  machine-dependent, so only equality is asserted here — the JSON records
-  the observed speedup);
+* the persistent pool's ``run_sweep[workers=4]`` ≥ 3× serial (≥ 1.5× under
+  ``CI``, where shared runners throttle; skipped below 4 usable cores —
+  the speedup is physically bounded by the core count);
+* the cross-instance ``tm_values_batched`` ≥ 2× per-forest vectorized
+  calls on a 64-forest batch (≥ 1.6× under ``CI``);
+* parallel and serial sweeps agree bit-for-bit (the equality, not the
+  timing, is the correctness contract);
 * the disabled observability layer costs < 5% on the TM hot path
   (``repro.obs`` tracer contract);
 * a solver-service cache hit answers ≥ 10× faster than the cold solve it
@@ -16,11 +20,14 @@ pytest-benchmark and asserts the headline claims:
 """
 
 import json
+import os
 
 import pytest
 
 from repro.analysis.perf import (
     bench_serve_cache,
+    bench_sweep_engine,
+    bench_tm_batched,
     bench_tm_kernels,
     bench_tracer_overhead,
     run_bench,
@@ -43,6 +50,53 @@ def test_vectorized_speedup_at_1e5():
     fast = [r for r in records if r.op == "tm_values_vectorized"]
     assert fast and fast[0].speedup_vs_reference >= 5.0, (
         f"vectorized TM below the 5x gate: {fast}"
+    )
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def test_sweep_pool_speedup_gate():
+    """``run_sweep[workers=4]`` ≥ 3× serial (1.5× on CI's shared runners).
+
+    The pool's speedup is bounded above by the usable core count, so the
+    gate only means something with ≥ 4 cores; below that the JSON
+    trajectory still records the honest number but nothing is asserted.
+    """
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"pool speedup gate needs >= 4 usable cores, have {cores}")
+    threshold = 1.5 if os.environ.get("CI") else 3.0
+    records = bench_sweep_engine(workers_values=(1, 4), reps=3)
+    parallel = [r for r in records if r.op == "run_sweep[workers=4]"]
+    assert parallel, f"workers=4 record missing: {records}"
+    assert parallel[0].speedup_vs_reference >= threshold, (
+        f"pool sweep below the {threshold}x gate: {parallel[0]}"
+    )
+
+
+def test_tm_batched_speedup_gate():
+    """One stacked kernel pass ≥ 2× the 64 per-forest calls it replaces.
+
+    Best of two trials: the ratio is min-of-reps on both sides already,
+    but a background scheduling spike during the short batched timings can
+    still deflate a whole trial on a busy host.
+    """
+    threshold = 1.6 if os.environ.get("CI") else 2.0
+    best = 0.0
+    for _ in range(2):
+        records = bench_tm_batched(reps=5)
+        batched = [r for r in records if r.op == "tm_values_batched"]
+        assert batched, f"batched record missing: {records}"
+        best = max(best, batched[0].speedup_vs_reference)
+        if best >= threshold:
+            break
+    assert best >= threshold, (
+        f"batched TM kernel below the {threshold}x gate: best {best:.2f}x"
     )
 
 

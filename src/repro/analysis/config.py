@@ -65,6 +65,49 @@ def _bas_loss_random(rng, n: int = 200, k: int = 2, shape: str = "attachment") -
     return {"loss": float(forest.total_value) / float(tm_optimal_value(forest, int(k)))}
 
 
+@register_cell("bas_loss_random_batched")
+def _bas_loss_random_batched(
+    rngs, n: int = 200, k: int = 2, shape: str = "attachment"
+) -> Sequence[Mapping[str, float]]:
+    """TM loss factor on random forests — all repeats in one batched kernel pass.
+
+    Same measurement as ``bas_loss_random``, but the cell opts into the
+    ``batch_repeats`` protocol: it receives every repeat's RNG at once,
+    draws one forest per repeat, and solves them all with a single
+    :func:`repro.core.bas.tm.tm_optimal_values_batched` call so the stacked
+    CSR kernel amortises the per-level numpy passes across repeats.
+    """
+    from repro.core.bas.tm import tm_optimal_values_batched
+    from repro.instances.random_trees import random_forest
+
+    forests = [random_forest(int(n), shape=shape, seed=rng) for rng in rngs]
+    values = tm_optimal_values_batched(forests, int(k))
+    return [
+        {"loss": float(f.total_value) / float(v)} for f, v in zip(forests, values)
+    ]
+
+
+_bas_loss_random_batched.batch_repeats = True  # type: ignore[attr-defined]
+
+
+@register_cell("bas_loss_corpus")
+def _bas_loss_corpus(rng, k: int = 2, forests: Sequence[Any] = ()) -> Mapping[str, float]:
+    """Mean TM loss factor over a shared forest corpus.
+
+    The corpus arrives via ``run_sweep(..., shared={"forests": [...]})`` —
+    one shared-memory transfer per sweep instead of a pickle per cell —
+    and is solved with one batched kernel pass per cell.  ``rng`` is part
+    of the cell protocol but unused: the corpus is fixed.
+    """
+    from repro.core.bas.tm import tm_optimal_values_batched
+
+    if not forests:
+        raise ValueError("bas_loss_corpus needs shared={'forests': [...]}")
+    values = tm_optimal_values_batched(list(forests), int(k))
+    losses = [float(f.total_value) / float(v) for f, v in zip(forests, values)]
+    return {"loss": sum(losses) / len(losses)}
+
+
 @register_cell("k0_price_random")
 def _k0_price_random(rng, n: int = 30, P: float = 16.0) -> Mapping[str, float]:
     """k = 0 realised price on random instances with controlled P."""
@@ -115,6 +158,7 @@ def load_config(path_or_dict) -> Dict[str, Any]:
     config.setdefault("seed", 0)
     config.setdefault("workers", 1)
     config.setdefault("executor", None)
+    config.setdefault("chunksize", None)
     return config
 
 
@@ -132,8 +176,10 @@ def run_config(path_or_dict, *, workers: Optional[int] = None, executor: Optiona
         workers = int(config["workers"])
     if executor is None:
         executor = config["executor"]
+    chunksize = config["chunksize"]
     results: List[SweepResult] = run_sweep(
-        sweep, cell, seed=int(config["seed"]), workers=workers, executor=executor
+        sweep, cell, seed=int(config["seed"]), workers=workers, executor=executor,
+        chunksize=None if chunksize is None else int(chunksize),
     )
 
     axis_names = list(config["axes"])

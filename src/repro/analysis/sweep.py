@@ -7,22 +7,25 @@ seeds.  All experiment tables that report means over random instances are
 produced through this harness.
 
 Execution is serial by default and parallel on request: ``workers=N``
-dispatches whole cells (one parameter assignment with all its repeats) to a
-:class:`concurrent.futures.ProcessPoolExecutor` in chunks.  The RNG
-contract is preserved exactly — every cell receives the same spawned
-streams it would serially, and aggregation happens in the parent process in
-cell order — so parallel results are bit-identical to serial ones.
+routes whole cells (one parameter assignment with all its repeats) through
+the persistent shared-memory pool in :mod:`repro.analysis.pool` — workers
+are forked once per worker count and reused across sweeps, the sweep spec
+travels once per job through shared memory, and task messages carry only
+cell indices.  The RNG contract is preserved exactly — every cell receives
+the same spawned streams it would serially, and aggregation happens in the
+parent process in cell order — so parallel results are bit-identical to
+serial ones.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.pool import default_chunksize, get_pool, in_worker
 from repro.obs.tracer import Tracer, current_tracer
 from repro.utils.rng import spawn_rngs
 
@@ -57,24 +60,58 @@ class Sweep:
         return [dict(zip(names, combo)) for combo in combos]
 
 
-def _run_cell(task) -> Tuple[List[Mapping[str, float]], Optional[Dict[str, Any]]]:
-    """Execute one cell's repeats (module-level so process pools can pickle it).
+def _execute_cell(
+    cell_fn,
+    params: Dict[str, Any],
+    rngs: Sequence[Any],
+    trace: bool,
+    shared: Mapping[str, Any],
+) -> Tuple[List[Mapping[str, float]], Optional[Dict[str, Any]]]:
+    """Execute one cell's repeats; the single cell protocol for both engines.
 
-    ``task`` is ``(cell_fn, params, rngs)`` plus an optional trailing
-    ``trace`` flag.  When tracing, the cell runs under a fresh worker-local
-    tracer whose export rides back to the parent — that is how spans
-    serialize across a :class:`ProcessPoolExecutor` and merge into the
-    parent trace.
+    Plain cells are called once per repeat as ``cell_fn(rng=..., **params,
+    **shared)``.  Cells marked ``batch_repeats = True`` (an attribute on
+    the function) are instead called *once* as ``cell_fn(rngs=[...],
+    **params, **shared)`` and must return one metrics mapping per repeat —
+    that is how a cell hands all its repeats to
+    :func:`repro.core.bas.tm.tm_optimal_values_batched` in one kernel pass.
+
+    When tracing, the cell runs under a fresh local tracer whose export
+    rides back to the parent — that is how spans serialize across the
+    worker pool and merge into the parent trace.
     """
-    cell_fn, params, rngs = task[0], task[1], task[2]
-    trace = task[3] if len(task) > 3 else False
+
+    def _call() -> List[Mapping[str, float]]:
+        if getattr(cell_fn, "batch_repeats", False):
+            runs = list(cell_fn(rngs=list(rngs), **params, **shared))
+            if len(runs) != len(rngs):
+                raise ValueError(
+                    f"batch_repeats cell {getattr(cell_fn, '__name__', cell_fn)!r} "
+                    f"returned {len(runs)} runs for {len(rngs)} repeats"
+                )
+            return runs
+        return [cell_fn(rng=rng, **params, **shared) for rng in rngs]
+
     if not trace:
-        return [cell_fn(rng=rng, **params) for rng in rngs], None
+        return _call(), None
     tracer = Tracer()
     with tracer.activate():
         with tracer.span("sweep.cell", **{"repeats": len(rngs), **params}):
-            runs = [cell_fn(rng=rng, **params) for rng in rngs]
+            runs = _call()
     return runs, tracer.export()
+
+
+def _run_cell(task) -> Tuple[List[Mapping[str, float]], Optional[Dict[str, Any]]]:
+    """Tuple-task wrapper over :func:`_execute_cell` (legacy transport shape).
+
+    ``task`` is ``(cell_fn, params, rngs)`` plus optional trailing ``trace``
+    and ``shared`` entries.  Kept module-level and picklable for external
+    callers that still map tasks over a generic executor.
+    """
+    cell_fn, params, rngs = task[0], task[1], task[2]
+    trace = task[3] if len(task) > 3 else False
+    shared = task[4] if len(task) > 4 else {}
+    return _execute_cell(cell_fn, params, rngs, trace, shared)
 
 
 def _aggregate(
@@ -110,26 +147,37 @@ def run_sweep(
     workers: int = 1,
     executor: Optional[str] = None,
     chunksize: Optional[int] = None,
+    shared: Optional[Dict[str, Any]] = None,
 ) -> List[SweepResult]:
     """Execute every cell ``repeats`` times and average the metrics.
 
     ``cell_fn(rng=..., **params)`` must return a mapping of metric name to
-    float.  Metrics are averaged across repeats; a ``*_max`` variant of
-    every metric records the worst repeat, since price statements are
-    worst-case claims.
+    float (cells marked ``batch_repeats = True`` follow the batched
+    protocol — see :func:`_execute_cell`).  Metrics are averaged across
+    repeats; a ``*_max`` variant of every metric records the worst repeat,
+    since price statements are worst-case claims.
+
+    ``shared`` is an optional mapping of keyword arguments passed to every
+    cell call unchanged — a corpus of :class:`~repro.core.bas.forest.Forest`
+    instances or numpy arrays placed here travels to pool workers through
+    shared memory once per sweep instead of being pickled per cell.
 
     ``workers``/``executor`` select the execution engine:
 
     * ``executor="serial"`` (or ``workers=1``) — run cells in-process;
-    * ``executor="process"`` — dispatch cells to ``workers`` OS processes
-      in chunks of ``chunksize`` (default: cells split ~4 ways per worker).
-      ``cell_fn`` must then be picklable (a module-level function — every
-      registered config cell qualifies).
+    * ``executor="process"`` — dispatch cells to the persistent
+      ``workers``-process pool (:func:`repro.analysis.pool.get_pool`) in
+      index chunks of ``chunksize`` (default:
+      :func:`repro.analysis.pool.default_chunksize`, ~4 chunks per
+      worker).  ``cell_fn`` must then be picklable (a module-level
+      function — every registered config cell qualifies).
 
     With ``executor=None`` the engine is inferred: ``"process"`` when
     ``workers > 1``, ``"serial"`` otherwise.  Either engine spawns the same
     per-cell RNG streams from ``seed`` and aggregates in cell order, so the
-    results are bit-identical regardless of worker count.
+    results are bit-identical regardless of worker count.  A sweep issued
+    from inside a pool worker (a cell that itself sweeps) silently runs
+    serially rather than deadlocking on a nested pool.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -141,11 +189,10 @@ def run_sweep(
     tracer = current_tracer()
     trace = tracer is not None
     cells = sweep.cells()
-    rngs = spawn_rngs(seed, len(cells) * sweep.repeats)
-    tasks = [
-        (cell_fn, params, list(rngs[i * sweep.repeats : (i + 1) * sweep.repeats]), trace)
-        for i, params in enumerate(cells)
-    ]
+    shared_kwargs = shared or {}
+    use_pool = (
+        executor == "process" and workers > 1 and len(cells) > 1 and not in_worker()
+    )
     with (
         tracer.span(
             "sweep.run",
@@ -155,13 +202,31 @@ def run_sweep(
         if trace
         else _noop_context()
     ):
-        if executor == "process" and workers > 1 and len(tasks) > 1:
+        if use_pool:
             if chunksize is None:
-                chunksize = max(1, len(tasks) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-                outcomes = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+                chunksize = default_chunksize(len(cells), workers)
+            outcomes = get_pool(workers).run_job(
+                cell_fn,
+                cells,
+                sweep.repeats,
+                seed,
+                trace=trace,
+                shared=shared_kwargs,
+                chunksize=chunksize,
+                tracer=tracer,
+            )
         else:
-            outcomes = [_run_cell(task) for task in tasks]
+            rngs = spawn_rngs(seed, len(cells) * sweep.repeats)
+            outcomes = [
+                _execute_cell(
+                    cell_fn,
+                    params,
+                    rngs[i * sweep.repeats : (i + 1) * sweep.repeats],
+                    trace,
+                    shared_kwargs,
+                )
+                for i, params in enumerate(cells)
+            ]
         results: List[SweepResult] = []
         for params, (runs, payload) in zip(cells, outcomes):
             block = None

@@ -493,6 +493,38 @@ def _contraction_within_loss_bound(case: Case) -> Optional[str]:
     return None
 
 
+@register_oracle(
+    "tm-batched-vs-vectorized",
+    "forest",
+    "the stacked cross-instance TM kernel equals per-forest engines exactly",
+)
+def _tm_batched_vs_vectorized(case: Case) -> Optional[str]:
+    from repro.core.bas.forest import Forest
+    from repro.core.bas.tm import tm_values, tm_values_batched
+
+    forest, k = case.payload, case.params["k"]
+    # A deterministic heterogeneous batch derived from the case forest:
+    # the forest itself, a value-reversed twin (same shape, different
+    # aggregates), and fixed path/star shapes whose depths interleave the
+    # stacked levels differently than the random draw.
+    parents = [forest.parent(v) for v in range(forest.n)]
+    batch = [
+        forest,
+        Forest(parents, list(reversed(forest.values))),
+        Forest([-1, 0, 1, 2], [3, 1, 4, 1]),
+        Forest([-1, 0, 0, 0, 0], [2, 7, 1, 8, 2]),
+    ]
+    batched = tm_values_batched(batch, k)  # forced stacked kernel, no dispatch
+    for i, (f, (t_b, m_b)) in enumerate(zip(batch, batched)):
+        t_r, m_r = tm_values(f, k)  # exact reference loop (integral payloads)
+        if t_b != t_r or m_b != m_r:
+            return (
+                f"stacked kernel diverges from reference on batch member {i} "
+                f"(n={f.n}, k={k})"
+            )
+    return None
+
+
 # ---------------------------------------------------------------------------
 # sweep-domain oracles
 # ---------------------------------------------------------------------------
@@ -516,6 +548,10 @@ def _sweep_serial_vs_parallel(case: Case) -> Optional[str]:
     )
     # The bit-identical contract covers (params, metrics); the optional
     # ``trace`` block carries wall times and is legitimately run-dependent.
+    return _compare_sweep_rows(serial, parallel)
+
+
+def _compare_sweep_rows(serial, parallel) -> Optional[str]:
     if len(serial) != len(parallel):
         return "sweep result lists differ in length"
     for row_s, row_p in zip(serial, parallel):
@@ -524,4 +560,42 @@ def _sweep_serial_vs_parallel(case: Case) -> Optional[str]:
                 f"sweep rows diverge at params {row_s.params}: "
                 f"serial {row_s.metrics} vs parallel {row_p.metrics}"
             )
+    return None
+
+
+@register_oracle(
+    "sweep-serial-vs-pool-traced",
+    "sweep",
+    "traced pool sweeps match serial rows and emit the pool counters",
+)
+def _sweep_serial_vs_pool_traced(case: Case) -> Optional[str]:
+    from repro.analysis.config import CELL_REGISTRY
+    from repro.analysis.sweep import Sweep, run_sweep
+    from repro.obs.tracer import Tracer
+
+    spec = case.payload
+    cell = CELL_REGISTRY[spec["cell"]]
+    sweep = Sweep(axes=spec["axes"], repeats=spec["repeats"])
+    n_cells = len(sweep.cells())
+    serial = run_sweep(sweep, cell, seed=spec["seed"], workers=1)
+    tracer = Tracer()
+    with tracer.activate():
+        parallel = run_sweep(
+            sweep, cell, seed=spec["seed"], workers=case.params.get("workers", 2)
+        )
+    detail = _compare_sweep_rows(serial, parallel)
+    if detail is not None:
+        return f"traced pool run: {detail}"
+    if any(row.trace is None for row in parallel):
+        return "traced pool run produced rows without trace blocks"
+    counters = tracer.counters
+    if counters.get("sweep.cells_run") != n_cells:
+        return (
+            f"sweep.cells_run counter is {counters.get('sweep.cells_run')}, "
+            f"expected {n_cells}"
+        )
+    if counters.get("sweep.tasks_dispatched", 0) < 1:
+        return "pool sweep emitted no sweep.tasks_dispatched counter"
+    if counters.get("sweep.ipc_bytes_saved", 0) <= 0:
+        return "pool sweep emitted no sweep.ipc_bytes_saved counter"
     return None

@@ -361,6 +361,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_perf.json",
         help="output JSON path (default: BENCH_perf.json; '-' to skip writing)",
     )
+    bench_p.add_argument(
+        "--min-sweep-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless the best parallel run_sweep speedup reaches X (CI gate)",
+    )
     trace_p = sub.add_parser(
         "trace", help="run an experiment (or 'demo') traced and print the span tree"
     )
@@ -457,6 +461,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_bench(payload))
         if args.out != "-":
             print(f"wrote {args.out}")
+        if args.min_sweep_speedup is not None:
+            speedups = [
+                rec["speedup_vs_reference"]
+                for rec in payload["records"]
+                if rec["op"].startswith("run_sweep[workers=")
+                and rec["speedup_vs_reference"] is not None
+            ]
+            if not speedups:
+                print(
+                    "repro-bench bench: no parallel run_sweep record to gate on",
+                    file=sys.stderr,
+                )
+                return 1
+            best = max(speedups)
+            if best < args.min_sweep_speedup:
+                print(
+                    f"repro-bench bench: parallel run_sweep speedup {best:.2f}x "
+                    f"below required {args.min_sweep_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"sweep speedup gate: {best:.2f}x >= {args.min_sweep_speedup:.2f}x")
         return 0
     if args.command == "trace":
         return _cmd_trace(args.name, args.jsonl, args.max_depth)

@@ -36,7 +36,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.core.bas.forest import Forest
+from repro.core.bas.forest import Forest, stack_csr
 from repro.core.bas.subforest import SubForest
 from repro.obs.tracer import current_tracer
 from repro.utils import faults
@@ -151,46 +151,128 @@ def _tm_values_vectorized_impl(forest: Forest, k: int) -> Tuple[List, List]:
     n = forest.n
     if n == 0:
         return [], []
-    topo = forest.topo_array
-    start = forest.children_start
-    level_ptr = forest.level_ptr
     values = forest.values_array
-    exact = values.dtype == object  # Fraction (or mixed) values: stay exact
     t = np.zeros(n, dtype=values.dtype)
     m = np.zeros(n, dtype=values.dtype)
+    _level_sweep(
+        forest.topo_array,
+        forest.children_start,
+        forest.level_ptr,
+        values,
+        len(forest.roots),
+        k,
+        t,
+        m,
+    )
+    return t.tolist(), m.tolist()
 
+
+def _level_sweep(
+    topo: np.ndarray,
+    start: np.ndarray,
+    level_ptr: np.ndarray,
+    values: np.ndarray,
+    n_roots: int,
+    k: int,
+    t: np.ndarray,
+    m: np.ndarray,
+) -> None:
+    """The equation-3.1 DP over one CSR layout, deepest level first.
+
+    Shared verbatim by the single-forest vectorized kernel and the
+    cross-instance batched kernel: a :class:`~repro.core.bas.forest.StackedCSR`
+    satisfies the same BFS invariant (``topo[n_roots:]`` is the CSR children
+    index), so stacking many forests only changes the array sizes, never
+    the sweep.  Fills ``t``/``m`` in place, indexed by (global) node id.
+
+    Internally the DP runs in *position space* — arrays indexed by topo
+    position, not node id.  There the BFS invariant makes every access a
+    contiguous slice: level ``d`` is ``[level_ptr[d]:level_ptr[d+1])`` and
+    its concatenated children are exactly level ``d + 1``, so the sweep
+    does no per-level gathers at all.  Three whole-array permutations
+    (``values`` in, ``t``/``m`` out) pay for it once; on stacked batches
+    this is also what keeps the working set cache-local.
+    """
+    exact = values.dtype == object  # Fraction (or mixed) values: stay exact
+    values_pos = values[topo]
+    t_pos = np.zeros_like(t)
+    m_pos = np.zeros_like(m)
     for d in range(len(level_ptr) - 2, -1, -1):
         a, b = int(level_ptr[d]), int(level_ptr[d + 1])
-        ids = topo[a:b]
         s0, s1 = int(start[a]), int(start[b])
         if s0 == s1:  # a level of leaves
-            t[ids] = values[ids]
+            t_pos[a:b] = values_pos[a:b]
             continue
-        kids = topo[len(forest.roots) + s0 : len(forest.roots) + s1]
+        t_child = t_pos[n_roots + s0 : n_roots + s1]
+        m_child = m_pos[n_roots + s0 : n_roots + s1]
         lens = start[a + 1 : b + 1] - start[a:b]
         offsets = start[a:b] - s0
         nz = lens > 0
         starts_nz = offsets[nz]
-        t_child = t[kids]
-        m[ids[nz]] = np.add.reduceat(np.maximum(t_child, m[kids]), starts_nz)
-        t_level = values[ids].copy()
+        m_pos[a:b][nz] = np.add.reduceat(np.maximum(t_child, m_child), starts_nz)
+        t_level = values_pos[a:b].copy()
         max_deg = int(lens.max())
         if max_deg <= k:
             t_level[nz] += np.add.reduceat(t_child, starts_nz)
         else:
+            # Parents with <= k children keep everything, so their top-k sum
+            # is the plain segment sum; only over-degree parents need the
+            # padded row-partitioned selection (bucketed by degree so one
+            # giant hub cannot inflate every row's padding — see
+            # _topk_big_sums).
+            sums = np.add.reduceat(t_child, starts_nz)
             lens_nz = lens[nz]
-            padded = np.zeros((len(lens_nz), max_deg), dtype=t.dtype)
-            mask = np.arange(max_deg) < lens_nz[:, None]
-            padded[mask] = t_child
-            if exact:
-                # np.partition's introselect needs rich comparisons too, but
-                # a full sort keeps the object path simple and still O(deg log deg).
-                top = np.sort(padded, axis=1)[:, max_deg - k :]
-            else:
-                top = np.partition(padded, max_deg - k, axis=1)[:, max_deg - k :]
-            t_level[nz] += top.sum(axis=1)
-        t[ids] = t_level
-    return t.tolist(), m.tolist()
+            big = lens_nz > k
+            if big.any():
+                sums[big] = _topk_big_sums(
+                    t_child, starts_nz[big], lens_nz[big], k, exact
+                )
+            t_level[nz] += sums
+        t_pos[a:b] = t_level
+    t[topo] = t_pos
+    m[topo] = m_pos
+
+
+def _topk_big_sums(
+    t_child: np.ndarray,
+    starts_big: np.ndarray,
+    lens_big: np.ndarray,
+    k: int,
+    exact: bool,
+) -> np.ndarray:
+    """Top-k child sums for the over-degree parents of one level.
+
+    Rows are bucketed by degree (each bucket's max width within ~2x of its
+    min) so one giant hub cannot inflate the zero-padded matrix for every
+    row — essential once levels from many stacked forests share a single
+    global max degree.  Within a bucket the usual trick applies: values are
+    positive, so zero padding never displaces a real child from the top k.
+    """
+    order = np.argsort(lens_big, kind="stable")
+    sorted_lens = lens_big[order]
+    sums = np.empty(len(lens_big), dtype=t_child.dtype)
+    i = 0
+    nbig = len(order)
+    while i < nbig:
+        w_min = int(sorted_lens[i])
+        cap = max(2 * w_min, w_min + 8)
+        j = int(np.searchsorted(sorted_lens, cap, side="right"))
+        rows = order[i:j]
+        lens_r = lens_big[rows]
+        w = int(sorted_lens[j - 1])
+        idx = starts_big[rows][:, None] + np.arange(w)
+        mask = np.arange(w) < lens_r[:, None]
+        padded = np.zeros((len(rows), w), dtype=t_child.dtype)
+        padded[mask] = t_child[idx[mask]]
+        if exact:
+            # np.partition's introselect needs rich comparisons too, but a
+            # full sort keeps the object path simple and still O(deg log deg).
+            top = np.sort(padded, axis=1)[:, w - k :]
+        else:
+            top = np.partition(padded, w - k, axis=1)[:, w - k :]
+        sums[rows] = top.sum(axis=1)
+        i = j
+    return sums
 
 
 def _tm_values_auto(forest: Forest, k: int) -> Tuple[List, List]:
@@ -204,6 +286,106 @@ def _tm_values_auto(forest: Forest, k: int) -> Tuple[List, List]:
     if vectorize:
         return tm_values_vectorized(forest, k)
     return tm_values(forest, k)
+
+
+def tm_values_batched(forests, k: int) -> List[Tuple[List, List]]:
+    """Equation 3.1 for *many* forests in one kernel pass.
+
+    The forests are stacked into one concatenated CSR layout
+    (:func:`repro.core.bas.forest.stack_csr`) whose levels interleave the
+    per-forest levels, so one ``np.maximum`` + ``np.add.reduceat`` sweep per
+    global depth level computes every instance's aggregates at once — the
+    per-level numpy call overhead is paid once per batch instead of once
+    per forest.  Returns one ``(t, m)`` pair per input forest, in order.
+
+    Exactness matches :func:`tm_values_vectorized`: the segment sums are
+    bit-identical (reduceat sees the same contiguous per-parent segments),
+    but on float forests the padded top-k path may differ by summation-order
+    ulps when the *global* max degree of a level differs from a forest's own
+    (the padding width changes the partition arrangement).  Integer forests
+    reproduce the per-forest kernel exactly.
+    """
+    _check_k(k)
+    forests = list(forests)
+    if not forests:
+        return []
+    stacked = stack_csr(forests)
+    total = stacked.n
+    tracer = current_tracer()
+    if tracer is not None:
+        with tracer.span("tm.batched", forests=len(forests), n=total, k=k):
+            tracer.count("tm.batched.forests", len(forests))
+            tracer.count("tm.nodes", total)
+            return _tm_values_batched_impl(forests, stacked, k)
+    return _tm_values_batched_impl(forests, stacked, k)
+
+
+def _tm_values_batched_impl(forests, stacked, k: int) -> List[Tuple[List, List]]:
+    total = stacked.n
+    t = np.zeros(total, dtype=stacked.values.dtype)
+    m = np.zeros(total, dtype=stacked.values.dtype)
+    if total:
+        _level_sweep(
+            stacked.topo, stacked.start, stacked.level_ptr, stacked.values,
+            stacked.n_roots, k, t, m,
+        )
+    # One big tolist + pointer-copy list slices beats per-forest tolist calls.
+    t_list, m_list = t.tolist(), m.tolist()
+    out: List[Tuple[List, List]] = []
+    for i in range(len(forests)):
+        lo, hi = int(stacked.offsets[i]), int(stacked.offsets[i + 1])
+        out.append((t_list[lo:hi], m_list[lo:hi]))
+    return out
+
+
+def _tm_values_batched_auto(forests, k: int) -> List[Tuple[List, List]]:
+    """Batch-level engine dispatch.
+
+    One stacked kernel pass when the batch is big enough to amortise the
+    per-level numpy overhead (total nodes past the single-forest crossover
+    and more than one forest); otherwise each forest takes its own
+    per-forest auto path.  Object-dtype (``Fraction``) forests always go
+    per-forest — the reference loop is their exact engine.
+    """
+    forests = list(forests)
+    total = sum(f.n for f in forests)
+    batched = (
+        len(forests) > 1
+        and total >= _VECTORIZE_MIN_NODES
+        and not any(f.values_array.dtype == object for f in forests)
+    )
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.count(f"tm.dispatch.{'batched' if batched else 'per-forest'}")
+    if batched:
+        return tm_values_batched(forests, k)
+    return [_tm_values_auto(f, k) for f in forests]
+
+
+def tm_optimal_values_batched(forests, k: int) -> List:
+    """``val`` of the optimal k-BAS of each forest, batched when worthwhile.
+
+    The drop-in cross-instance counterpart of :func:`tm_optimal_value`:
+    sweep cells and serve batches that need many instances' optimal values
+    pay one stacked kernel pass instead of one dispatch per forest.
+    """
+    pairs = _tm_values_batched_auto(forests, k)
+    return [
+        sum(max(t[r], m[r]) for r in f.roots) for f, (t, m) in zip(forests, pairs)
+    ]
+
+
+def tm_optimal_bas_batched(forests, k: int) -> List[SubForest]:
+    """The optimal k-BAS of each forest, aggregates from one batched pass.
+
+    The top-down replay stays per forest (it is a cheap Python walk over
+    the retained nodes only); the DP aggregates — the dominant cost — come
+    from :func:`tm_values_batched` under the same dispatch rule as
+    :func:`_tm_values_batched_auto`.
+    """
+    forests = list(forests)
+    pairs = _tm_values_batched_auto(forests, k)
+    return [_replay_bas(f, k, t, m) for f, (t, m) in zip(forests, pairs)]
 
 
 def tm_optimal_bas(forest: Forest, k: int) -> SubForest:
@@ -236,6 +418,11 @@ def tm_optimal_bas(forest: Forest, k: int) -> SubForest:
 
 def _tm_optimal_bas_impl(forest: Forest, k: int) -> SubForest:
     t, m = _tm_values_auto(forest, k)
+    return _replay_bas(forest, k, t, m)
+
+
+def _replay_bas(forest: Forest, k: int, t: List, m: List) -> SubForest:
+    """Materialise the optimal k-BAS from precomputed ``t``/``m`` aggregates."""
     # Mirror of the aggregate-side fault hook: under the injected mutation
     # the replay picks the same (wrong) children the recurrence counted, so
     # the broken kernel stays internally consistent — only a cross-engine

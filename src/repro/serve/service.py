@@ -31,7 +31,7 @@ Observability: every request runs under a private tracer whose spans
 (``serve.request`` wrapping the usual ``api.solve`` tree) and counters
 merge into the service's tracer — the one active when the service was
 constructed, or one passed explicitly.  Service counters are
-``serve.requests/hits/misses/coalesced/degraded/evictions/retries/
+``serve.requests/hits/misses/coalesced/batched/degraded/evictions/retries/
 timeouts/errors``; :meth:`SolverService.stats` exposes the same numbers
 without any tracer.  See ``docs/SERVING.md`` for the architecture and the
 degradation contract.
@@ -44,7 +44,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.api import SolveResult, request_key, solve_k_bounded
+from repro.api import SolveResult, request_key, solve_k_bounded, solve_k_bounded_batch
 from repro.obs.tracer import Tracer, current_tracer
 from repro.scheduling.job import JobSet
 from repro.serve.cache import LruCache
@@ -57,6 +57,7 @@ _STAT_NAMES = (
     "hits",
     "misses",
     "coalesced",
+    "batched",
     "degraded",
     "evictions",
     "retries",
@@ -212,6 +213,119 @@ class SolverService:
             jobs, k, machines=machines, method=method, deadline_ms=deadline_ms
         ).result(timeout=timeout)
 
+    def submit_batch(
+        self,
+        requests,
+        *,
+        machines: int = 1,
+        method: str = "auto",
+    ) -> "list[Future[SolveResult]]":
+        """Enqueue many ``(jobs, k)`` requests; returns their futures in order.
+
+        Per request the cache/coalescing rules of :meth:`submit` apply
+        (duplicates *within* the batch coalesce too).  What remains — the
+        cache misses — is grouped by ``k``, and every group of two or more
+        compatible requests (``k >= 1``, single machine, ``auto``/
+        ``combined`` method) is drained as *one* batched solve through
+        :func:`repro.api.solve_k_bounded_batch`, so the whole group's
+        schedule forests go through one cross-instance TM kernel dispatch.
+        Singleton or incompatible misses dispatch as ordinary requests.
+
+        Batch requests carry no deadline, so this path never degrades and
+        every result is cacheable; batched results are stamped with
+        ``metrics["served.batched"]``.
+        """
+        requests = [(jobs, int(k)) for jobs, k in requests]
+        for _, k in requests:
+            if k < 0:
+                raise ValueError(f"k must be >= 0, got {k}")
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines}")
+        futures: "list[Future[SolveResult]]" = []
+        groups: Dict[int, list] = {}
+        batch_leaders: Dict[str, Future] = {}
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("submit_batch on a shut-down SolverService")
+            for jobs, k in requests:
+                key = request_key(jobs, k, machines=machines, method=method)
+                self._stats["requests"] += 1
+                self._count_tracer("serve.requests")
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._stats["hits"] += 1
+                    self._count_tracer("serve.hits")
+                    done: "Future[SolveResult]" = Future()
+                    done.set_result(cached.with_metrics({"served.hit": 1.0}))
+                    futures.append(done)
+                    continue
+                leader = batch_leaders.get(key)
+                if leader is not None:
+                    self._stats["coalesced"] += 1
+                    self._count_tracer("serve.coalesced")
+                    futures.append(leader)
+                    continue
+                entry = self._inflight.get(key)
+                if entry is not None and entry[1] is None:
+                    # An in-flight full-pipeline solve: share its future.
+                    # (A deadline-bound leader may degrade; batch requests
+                    # want the full artifact, so they replace it below.)
+                    self._stats["coalesced"] += 1
+                    self._count_tracer("serve.coalesced")
+                    batch_leaders[key] = entry[0]
+                    futures.append(entry[0])
+                    continue
+                fut: "Future[SolveResult]" = Future()
+                self._inflight[key] = (fut, None)
+                self._stats["misses"] += 1
+                self._count_tracer("serve.misses")
+                batch_leaders[key] = fut
+                groups.setdefault(k, []).append((key, fut, jobs))
+                futures.append(fut)
+        batchable = machines == 1 and method in ("auto", "combined")
+        for k, group in groups.items():
+            if batchable and k >= 1 and len(group) >= 2:
+                with self._lock:
+                    self._stats["batched"] += len(group)
+                    self._count_tracer("serve.batched", len(group))
+                self._dispatch(
+                    self._run_batch, group, k, machines, method,
+                    futs=[fut for _, fut, _ in group], keys=[key for key, _, _ in group],
+                )
+            else:
+                for key, fut, jobs in group:
+                    self._dispatch(
+                        self._run, key, fut, jobs, k, machines, method, None,
+                        futs=[fut], keys=[key],
+                    )
+        return futures
+
+    def solve_batch(
+        self,
+        requests,
+        *,
+        machines: int = 1,
+        method: str = "auto",
+        timeout: Optional[float] = None,
+    ) -> "list[SolveResult]":
+        """Blocking convenience wrapper around :meth:`submit_batch`."""
+        futures = self.submit_batch(requests, machines=machines, method=method)
+        return [fut.result(timeout=timeout) for fut in futures]
+
+    def _dispatch(self, fn, *args, futs, keys) -> None:
+        """Submit work to the pool, resolving futures if shutdown races us."""
+        try:
+            self._pool.submit(fn, *args)
+        except RuntimeError:
+            with self._lock:
+                for key, fut in zip(keys, futs):
+                    self._drop_inflight(key, fut)
+            for fut in futs:
+                if not fut.done():
+                    fut.set_exception(
+                        ServiceClosed("service shut down while dispatching the request")
+                    )
+
     def stats(self) -> Dict[str, int]:
         """Snapshot of the service counters plus cache/in-flight occupancy."""
         with self._lock:
@@ -301,6 +415,75 @@ class SolverService:
                     self._count_tracer("serve.timeouts", served["served.timeouts"])
                 self._tracer.merge(tracer.export())
         fut.set_result(result)
+
+    def _run_batch(self, group, k: int, machines: int, method: str) -> None:
+        """Solve one compatible miss group with a single batched solve.
+
+        ``group`` is a list of ``(key, future, jobs)``.  No deadline applies
+        (batch submissions carry none), so nothing here degrades and every
+        result is cached.  A failure of the batched solve is retried once —
+        mirroring the no-deadline :meth:`_solve_with_deadline` contract —
+        and then fails *all* the group's futures.
+        """
+        tracer = Tracer()
+        retries = 0
+        try:
+            with tracer.activate():
+                with tracer.span(
+                    "serve.batch", requests=len(group), k=k, machines=machines,
+                    method=method,
+                ) as root:
+                    jobs_list = [jobs for _, _, jobs in group]
+                    try:
+                        results = solve_k_bounded_batch(
+                            jobs_list, k, machines=machines, method=method
+                        )
+                    except Exception:
+                        retries = 1
+                        results = solve_k_bounded_batch(
+                            jobs_list, k, machines=machines, method=method
+                        )
+                wall_ms = root.duration_ms
+        except BaseException as exc:
+            with self._lock:
+                for key, fut, _ in group:
+                    self._drop_inflight(key, fut)
+                self._stats["errors"] += len(group)
+                self._count_tracer("serve.errors", len(group))
+                if retries:
+                    self._stats["retries"] += retries
+                    self._count_tracer("serve.retries", retries)
+                if self._tracer is not None:
+                    self._tracer.merge(tracer.export())
+            for _, fut, _ in group:
+                fut.set_exception(exc)
+            return
+        stamped = [
+            result.with_metrics(
+                {
+                    "served.batched": 1.0,
+                    "served.degraded": 0.0,
+                    "served.wall_ms": float(wall_ms),
+                }
+            )
+            for result in results
+        ]
+        with self._lock:
+            evicted = 0
+            for (key, fut, _), result in zip(group, stamped):
+                evicted += self._cache.put(key, result)
+                self._drop_inflight(key, fut)
+            self._stats["evictions"] += evicted
+            if retries:
+                self._stats["retries"] += retries
+            if self._tracer is not None:
+                if evicted:
+                    self._count_tracer("serve.evictions", evicted)
+                if retries:
+                    self._count_tracer("serve.retries", retries)
+                self._tracer.merge(tracer.export())
+        for (_, fut, _), result in zip(group, stamped):
+            fut.set_result(result)
 
     def _solve_with_deadline(
         self,

@@ -30,6 +30,24 @@ def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
     return [np.random.default_rng(child) for child in ss.spawn(n)]
 
 
+def spawn_rng_block(seed, start: int, count: int) -> Sequence[np.random.Generator]:
+    """Generators ``start .. start + count - 1`` of :func:`spawn_rngs`'s stream.
+
+    ``SeedSequence.spawn(n)[i]`` is by construction the sequence with
+    ``spawn_key == (i,)`` on the same entropy, so any contiguous block of
+    the spawned family can be rebuilt directly — bit-identical — without
+    materialising (or shipping) the whole family.  This is what lets a
+    persistent sweep worker derive its cells' streams from ``(seed, cell
+    index)`` alone, keeping task messages to a few bytes while preserving
+    the serial RNG contract exactly.
+    """
+    entropy = seed.entropy if isinstance(seed, np.random.SeedSequence) else seed
+    return [
+        np.random.default_rng(np.random.SeedSequence(entropy=entropy, spawn_key=(i,)))
+        for i in range(start, start + count)
+    ]
+
+
 def shuffled(items: Iterable, rng) -> list:
     """Return a shuffled copy of ``items`` using ``rng`` (input untouched)."""
     out = list(items)

@@ -29,6 +29,7 @@ from repro.core.bas.tm import (
     tm_optimal_bas,
     tm_optimal_value,
     tm_values,
+    tm_values_batched,
     tm_values_vectorized,
 )
 from repro.core.bas.verify import verify_bas
@@ -37,7 +38,7 @@ from repro.instances.random_trees import random_forest
 from repro.utils.rng import spawn_rngs
 
 
-from tests.strategies import int_forests
+from tests.strategies import forest_batches, int_forests
 
 
 class TestVectorizedTm:
@@ -98,6 +99,34 @@ class TestVectorizedTm:
         assert bas.value == tm_optimal_value(f, 2)
         t, m = tm_values(f, 2)  # reference loop
         assert bas.value == sum(max(t[r], m[r]) for r in f.roots)
+
+
+class TestBatchedTm:
+    """The cross-instance stacked kernel against its per-forest reference."""
+
+    @given(forest_batches(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_per_forest_vectorized(self, batch, k):
+        # Integer forests: the stacked sweep must be bit-exact per forest.
+        assert tm_values_batched(batch, k) == [
+            tm_values_vectorized(f, k) for f in batch
+        ]
+
+    def test_mixed_shapes_float_agree_to_ulps(self):
+        batch = [
+            random_forest(200, trees=2, shape=shape, seed=seed)
+            for seed, shape in enumerate(("attachment", "preferential", "mixed"))
+        ]
+        for k in (1, 3):
+            for (t_b, m_b), f in zip(tm_values_batched(batch, k), batch):
+                t_r, m_r = tm_values_vectorized(f, k)
+                np.testing.assert_allclose(t_b, t_r, rtol=1e-12)
+                np.testing.assert_allclose(m_b, m_r, rtol=1e-12)
+
+    def test_empty_batch_and_k_zero(self):
+        assert tm_values_batched([], 2) == []
+        with pytest.raises(ValueError):
+            tm_values_batched([Forest([-1], [1])], 0)
 
 
 # ---------------------------------------------------------------------------

@@ -100,6 +100,28 @@ def test_append_initialises_when_runs_key_unusable(tmp_path, on_disk):
     assert _read(out) == trajectory
 
 
+def test_append_refuses_newer_on_disk_schema(tmp_path):
+    # A trajectory written by a future library version must not be silently
+    # rewritten (downgraded) by this one.
+    out = tmp_path / "BENCH_perf.json"
+    newer = {"schema": "repro-bench-perf/99", "runs": [_fake_run("future")]}
+    out.write_text(json.dumps(newer))
+    with pytest.raises(ValueError, match="refusing to silently downgrade"):
+        append_run(str(out), _fake_run("x"))
+    assert _read(out) == newer  # file untouched
+
+
+def test_append_refuses_unversioned_run_payload(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    bad = _fake_run("x")
+    del bad["schema"]
+    with pytest.raises(ValueError, match="append_run only accepts"):
+        append_run(str(out), bad)
+    with pytest.raises(ValueError):
+        append_run(str(out), {**_fake_run("y"), "schema": "something-else/3"})
+    assert not out.exists()
+
+
 def test_load_runs_skips_non_dict_entries(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     out.write_text(json.dumps({"schema": TRAJECTORY_SCHEMA, "runs": [_fake_run("a"), 7, None]}))
@@ -111,8 +133,9 @@ def test_run_bench_appends_and_returns_current_run(tmp_path, monkeypatch):
     import repro.analysis.perf as perf
 
     for name in (
-        "bench_tm_kernels", "bench_sweep_engine", "bench_edf_cache",
-        "bench_forest_traversals", "bench_tracer_overhead", "bench_serve_cache",
+        "bench_tm_kernels", "bench_tm_batched", "bench_sweep_engine",
+        "bench_edf_cache", "bench_forest_traversals", "bench_tracer_overhead",
+        "bench_serve_cache",
     ):
         monkeypatch.setattr(perf, name, lambda **kw: [])
     out = tmp_path / "BENCH_perf.json"
@@ -128,8 +151,9 @@ def test_run_bench_out_none_writes_nothing(tmp_path, monkeypatch):
     import repro.analysis.perf as perf
 
     for name in (
-        "bench_tm_kernels", "bench_sweep_engine", "bench_edf_cache",
-        "bench_forest_traversals", "bench_tracer_overhead", "bench_serve_cache",
+        "bench_tm_kernels", "bench_tm_batched", "bench_sweep_engine",
+        "bench_edf_cache", "bench_forest_traversals", "bench_tracer_overhead",
+        "bench_serve_cache",
     ):
         monkeypatch.setattr(perf, name, lambda **kw: [])
     monkeypatch.chdir(tmp_path)
