@@ -306,20 +306,24 @@ def bench_serve_cache(
     ``speedup_vs_reference`` is the cached-vs-cold median ratio the
     acceptance gate in ``benchmarks/bench_perf.py`` asserts stays >= 10.
     """
+    from repro.api import SolveRequest
     from repro.instances.random_jobs import random_jobs
     from repro.serve import SolverService
 
-    instances = [(random_jobs(n, seed=seed + i), 1 + i % 2) for i in range(corpus)]
+    instances = [
+        SolveRequest(jobs=random_jobs(n, seed=seed + i), k=1 + i % 2)
+        for i in range(corpus)
+    ]
     cold_times: List[float] = []
     hit_times: List[float] = []
     for _ in range(reps):
         with SolverService(workers=1, cache_size=4 * corpus) as svc:
             svc.clear_cache()
-            for jobs, k in instances:
-                cold_times.extend(_times_ms(lambda: svc.solve(jobs, k), 1))
+            for req in instances:
+                cold_times.extend(_times_ms(lambda: svc.solve(req), 1))
             for _ in range(max(1, requests // corpus)):
-                for jobs, k in instances:
-                    hit_times.extend(_times_ms(lambda: svc.solve(jobs, k), 1))
+                for req in instances:
+                    hit_times.extend(_times_ms(lambda: svc.solve(req), 1))
     return [
         _record("serve.solve[cold]", corpus, None, cold_times),
         _record("serve.solve[cached]", corpus, None, hit_times,

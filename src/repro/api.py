@@ -11,6 +11,20 @@ uniform entry points instead:
 * :func:`price_of_bounded_preemption` — the paper's headline quantity as a
   :class:`~repro.core.pricing.PriceMeasurement`.
 
+The request side of that surface is a value object: :class:`SolveRequest`
+is the **single request representation** shared by this facade, the batch
+solver service (:mod:`repro.serve`), the sharded gateway
+(:mod:`repro.gateway`) and the golden files — replacing the positional
+``(jobs, k, machines, method, deadline_ms)`` tuples that used to thread
+through ``submit``/``solve``/``submit_batch``.  Both :class:`SolveRequest`
+and :class:`SolveResult` cross process and network boundaries through the
+versioned ``repro-wire/1`` JSON schema (:data:`WIRE_FORMAT`):
+``to_wire()`` emits a self-describing document with exact-rational
+coordinates, ``from_wire()`` validates and reconstructs, and
+``tests/test_wire.py`` pins the round-trip property
+(``from_wire(to_wire(x)) == x``, permutation/re-typing invariance of
+``canonical_key``).
+
 Every solve runs under a tracer (the caller's, if one is active; a private
 one otherwise) and reports its observability block in
 ``SolveResult.metrics`` — wall time, solver counters, and the method the
@@ -42,10 +56,18 @@ from repro.core.reduction import reduce_schedule_to_k_preemptive
 from repro.obs.tracer import Tracer, current_tracer
 from repro.scheduling.edf import edf_accept_max_subset, edf_feasible, edf_schedule
 from repro.scheduling.exact import opt_infty_auto
+from repro.scheduling.io import (
+    jobset_from_dict,
+    jobset_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
 from repro.scheduling.job import JobSet
 from repro.scheduling.schedule import MultiMachineSchedule, Schedule
 
 __all__ = [
+    "WIRE_FORMAT",
+    "SolveRequest",
     "SolveResult",
     "request_key",
     "solve_k_bounded",
@@ -56,6 +78,11 @@ __all__ = [
 #: Dispatchable methods of :func:`solve_k_bounded`.  ``auto`` picks the
 #: strongest pipeline for the instance; the named methods force one branch.
 METHODS = ("auto", "combined", "reduction", "lsa")
+
+#: Version tag of the JSON wire schema spoken by ``to_wire``/``from_wire``
+#: on :class:`SolveRequest` and :class:`SolveResult`.  Bump only with a
+#: compatibility shim: gateway clients and golden files pin this string.
+WIRE_FORMAT = "repro-wire/1"
 
 
 @dataclass(frozen=True)
@@ -105,6 +132,173 @@ class SolveResult:
             preemptions_used=self.preemptions_used,
             method=self.method,
             metrics=merged,
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The ``repro-wire/1`` document for this result.
+
+        Self-describing JSON: scalars in place, the schedule artifact as a
+        nested ``repro.schedule/1`` (or ``repro.mmschedule/1``) document
+        with exact-rational coordinates.  ``from_wire`` reconstructs an
+        equivalent result; extra keys (a gateway's ``shard`` stamp, for
+        example) are ignored on decode, so responses can be annotated in
+        transit.
+        """
+        return {
+            "format": WIRE_FORMAT,
+            "kind": "solve_result",
+            "value": self.value,
+            "preemptions_used": self.preemptions_used,
+            "method": self.method,
+            "metrics": dict(self.metrics),
+            "schedule": _schedule_to_wire(self.schedule),
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "SolveResult":
+        """Decode a ``repro-wire/1`` ``solve_result`` document."""
+        _check_wire_envelope(doc, "solve_result")
+        return cls(
+            value=float(doc["value"]),
+            schedule=_schedule_from_wire(doc["schedule"]),
+            preemptions_used=int(doc["preemptions_used"]),
+            method=str(doc["method"]),
+            metrics={str(k): float(v) for k, v in doc.get("metrics", {}).items()},
+        )
+
+
+def _schedule_to_wire(schedule: Union[Schedule, MultiMachineSchedule]) -> Dict[str, Any]:
+    if isinstance(schedule, MultiMachineSchedule):
+        return {
+            "format": "repro.mmschedule/1",
+            "jobs": jobset_to_dict(schedule.jobs),
+            "machines": [schedule_to_dict(m) for m in schedule.machines],
+        }
+    return schedule_to_dict(schedule)
+
+
+def _schedule_from_wire(doc: Mapping[str, Any]) -> Union[Schedule, MultiMachineSchedule]:
+    if doc.get("format") == "repro.mmschedule/1":
+        return MultiMachineSchedule(
+            jobset_from_dict(doc["jobs"]),
+            [schedule_from_dict(m) for m in doc["machines"]],
+        )
+    return schedule_from_dict(doc)
+
+
+def _check_wire_envelope(doc: Mapping[str, Any], kind: str) -> None:
+    if not isinstance(doc, Mapping):
+        raise TypeError(f"wire document must be a mapping, got {type(doc).__name__}")
+    if doc.get("format") != WIRE_FORMAT:
+        raise ValueError(
+            f"not a {WIRE_FORMAT} document: format={doc.get('format')!r}"
+        )
+    if doc.get("kind") != kind:
+        raise ValueError(f"expected kind={kind!r}, got {doc.get('kind')!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class SolveRequest:
+    """One facade solve request, as a value object.
+
+    The uniform request representation shared by :func:`solve_k_bounded`
+    callers, :class:`repro.serve.SolverService` and the
+    :mod:`repro.gateway` wire protocol — the fields are exactly the old
+    positional ``(jobs, k, machines, method, deadline_ms)`` tuple, frozen
+    and validated at construction.  ``deadline_ms`` is the per-request
+    degradation budget (``None`` — no deadline; the serve layer may still
+    apply its service-wide default).
+
+    Equality compares the job sequence and every parameter (the round-trip
+    contract ``from_wire(to_wire(x)) == x``); :meth:`canonical_key` and
+    :meth:`key` are order- and representation-independent, which is what
+    the serve cache and the gateway's shard router key on.
+    """
+
+    jobs: JobSet
+    k: int
+    machines: int = 1
+    method: str = "auto"
+    deadline_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.jobs, JobSet):
+            raise TypeError(
+                f"jobs must be a JobSet, got {type(self.jobs).__name__}"
+            )
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "machines", int(self.machines))
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.machines < 1:
+            raise ValueError(f"machines must be >= 1, got {self.machines}")
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r} (want one of {METHODS})")
+        if self.deadline_ms is not None:
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
+            if self.deadline_ms <= 0:
+                raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolveRequest):
+            return NotImplemented
+        return (
+            self.jobs.jobs == other.jobs.jobs
+            and self.k == other.k
+            and self.machines == other.machines
+            and self.method == other.method
+            and self.deadline_ms == other.deadline_ms
+        )
+
+    def __hash__(self) -> int:
+        # canonical_key() is order-independent while __eq__ is order-
+        # sensitive; a coarser hash is fine (equal objects hash equal).
+        return hash(
+            (self.canonical_key(), self.k, self.machines, self.method, self.deadline_ms)
+        )
+
+    def canonical_key(self) -> str:
+        """The instance hash (:meth:`JobSet.canonical_key`) — what the
+        gateway shards on: same instance, same shard, for every ``k``."""
+        return self.jobs.canonical_key()
+
+    def key(self) -> str:
+        """The cache key (:func:`request_key`): instance hash plus the
+        parameters that select the solver pipeline."""
+        return request_key(self.jobs, self.k, machines=self.machines, method=self.method)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The ``repro-wire/1`` document for this request."""
+        return {
+            "format": WIRE_FORMAT,
+            "kind": "solve_request",
+            "jobs": jobset_to_dict(self.jobs),
+            "k": self.k,
+            "machines": self.machines,
+            "method": self.method,
+            "deadline_ms": self.deadline_ms,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "SolveRequest":
+        """Decode a ``repro-wire/1`` ``solve_request`` document.
+
+        Validation is the constructor's: a document with a negative ``k``,
+        an unknown method or a malformed job record raises ``ValueError``
+        (or ``TypeError``) rather than producing a half-valid request —
+        the gateway maps those to HTTP 400.  Unknown envelope keys (e.g. a
+        ``tenant`` annotation) are ignored.
+        """
+        _check_wire_envelope(doc, "solve_request")
+        for field_name in ("jobs", "k"):
+            if field_name not in doc:
+                raise ValueError(f"solve_request document missing {field_name!r}")
+        return cls(
+            jobs=jobset_from_dict(doc["jobs"]),
+            k=doc["k"],
+            machines=doc.get("machines", 1),
+            method=doc.get("method", "auto"),
+            deadline_ms=doc.get("deadline_ms"),
         )
 
 

@@ -360,12 +360,15 @@ def _served_vs_direct(case: Case) -> Optional[str]:
     from repro.scheduling.verify import verify_schedule
     from repro.serve import SolverService
 
+    from repro.api import SolveRequest
+
     jobs, k = case.payload, case.params["k"]
     direct = solve_k_bounded(jobs, k)
     direct_bytes = json.dumps(schedule_to_dict(direct.schedule), sort_keys=True)
+    request = SolveRequest(jobs=jobs, k=k)
     with SolverService(workers=1) as svc:
-        cold = svc.solve(jobs, k)
-        hit = svc.solve(jobs, k)
+        cold = svc.solve(request)
+        hit = svc.solve(request)
         stats = svc.stats()
     for label, served in (("cold", cold), ("hit", hit)):
         if served.degraded:
@@ -388,6 +391,69 @@ def _served_vs_direct(case: Case) -> Optional[str]:
         )
     if not hit.metrics.get("served.hit"):
         return "cache-hit result is missing its served.hit metrics flag"
+    return None
+
+
+@register_oracle(
+    "gateway-vs-direct",
+    "jobs",
+    "gateway answers over the repro-wire/1 path equal the direct facade solve",
+)
+def _gateway_vs_direct(case: Case) -> Optional[str]:
+    """Drive the full gateway admission/routing/dispatch path on one case.
+
+    Uses in-process shards behind :meth:`Gateway.handle_solve` (no
+    sockets, no forks — fuzz runs hundreds of cases), which still
+    exercises every wire encode/decode, the shard hash and the shard-side
+    batcher exactly as the HTTP server does.  The end-to-end socket path
+    is covered by ``tests/test_gateway.py`` and the CI gateway-bench
+    smoke, whose warmup phase performs this same comparison over HTTP.
+    """
+    import asyncio
+
+    from repro.api import SolveRequest, SolveResult, solve_k_bounded
+    from repro.gateway import Gateway, InlineShard, shard_for_key
+
+    jobs, k = case.payload, case.params["k"]
+    request = SolveRequest(jobs=jobs, k=k)
+    roundtrip = SolveRequest.from_wire(request.to_wire())
+    if roundtrip != request or roundtrip.key() != request.key():
+        return f"repro-wire/1 round trip changed the request (k={k})"
+    direct = solve_k_bounded(jobs, k)
+    expected_shard = shard_for_key(request.canonical_key(), 2)
+
+    async def drive():
+        gateway = Gateway(
+            shards=2,
+            shard_factory=lambda index: InlineShard(workers=1),
+            batch_window_ms=0.0,
+        )
+        await gateway.start()
+        try:
+            first = await gateway.handle_solve(request.to_wire())
+            second = await gateway.handle_solve(roundtrip.to_wire())
+        finally:
+            await gateway.stop()
+        return first, second
+
+    (s1, p1, _), (s2, p2, _) = asyncio.run(drive())
+    for label, status, payload in (("cold", s1, p1), ("repeat", s2, p2)):
+        if status != 200:
+            return f"gateway {label} request failed: HTTP {status} {payload} (k={k})"
+        if payload["shard"] != expected_shard:
+            return (
+                f"gateway {label} routed to shard {payload['shard']}, "
+                f"expected {expected_shard} (k={k})"
+            )
+        served = SolveResult.from_wire(payload["result"])
+        if served.value != direct.value or served.preemptions_used != direct.preemptions_used:
+            return (
+                f"gateway {label} diverges from direct solve (k={k}): "
+                f"value {served.value} vs {direct.value}, preemptions "
+                f"{served.preemptions_used} vs {direct.preemptions_used}"
+            )
+    if not SolveResult.from_wire(p2["result"]).metrics.get("served.hit"):
+        return "gateway repeat of the same canonical instance missed the shard cache"
     return None
 
 

@@ -273,13 +273,18 @@ def _cmd_serve_bench(args) -> int:
         print("repro-bench serve-bench: error: --requests must be >= 1", file=sys.stderr)
         return 2
 
+    from repro.api import SolveRequest
+
     rng = random.Random(args.seed)
     corpus = [random_jobs(args.n, seed=args.seed + i) for i in range(args.corpus)]
-    ks = [rng.choice((1, 2)) for _ in corpus]
+    reqs = [
+        SolveRequest(jobs=jobs, k=rng.choice((1, 2)), deadline_ms=args.deadline_ms)
+        for jobs in corpus
+    ]
 
     def timed_solve(svc: SolverService, i: int) -> float:
         t0 = time.perf_counter()
-        svc.solve(corpus[i], ks[i], deadline_ms=args.deadline_ms)
+        svc.solve(reqs[i])
         return (time.perf_counter() - t0) * 1e3
 
     with SolverService(workers=args.workers, cache_size=args.cache_size) as svc:
@@ -303,7 +308,7 @@ def _cmd_serve_bench(args) -> int:
         "cached_p50_ms": hit_p50,
         "cached_p95_ms": p(hit_ms, 0.95),
         "p50_speedup": speedup,
-        "stats": stats,
+        "stats": stats.as_dict(),
     }
     print(f"corpus {len(corpus)} instances (n={args.n}), {args.requests} cached-phase requests")
     print(f"cold   p50 {cold_p50:9.3f} ms   p95 {payload['cold_p95_ms']:9.3f} ms")
@@ -311,7 +316,7 @@ def _cmd_serve_bench(args) -> int:
     print(f"cached p50 speedup: {speedup:.1f}x")
     print(
         "service: "
-        + ", ".join(f"{name}={stats[name]}" for name in ("requests", "hits", "misses", "coalesced", "degraded", "evictions"))
+        + ", ".join(f"{name}={stats[name]}" for name in ("requests", "hits", "misses", "coalesced", "batched", "degraded", "evictions"))
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -323,6 +328,90 @@ def _cmd_serve_bench(args) -> int:
             f"below required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _cmd_gateway_bench(args) -> int:
+    """``repro gateway-bench``: open-loop load against a sharded gateway fleet.
+
+    Starts a :class:`~repro.gateway.Gateway` over ``--shards`` solver
+    worker processes, warms every corpus instance (verifying each response
+    against a direct solve and each route against the shard hash), then
+    fires Poisson arrivals at ``--rps`` for ``--duration`` seconds.
+    Reports p50/p99 latency, throughput and per-shard cache hit ratios;
+    ``--max-p99-ms`` and the built-in zero-disagreement /
+    per-shard-nonzero-hits gates set the exit status for CI.
+    """
+    import json
+
+    from repro.gateway.bench import run_gateway_bench
+
+    if args.quick:
+        args.rps = min(args.rps, 30.0)
+        args.duration = min(args.duration, 8.0)
+        args.corpus = min(args.corpus, 12)
+        args.n = min(args.n, 10)
+    if args.shards < 1:
+        print("repro-bench gateway-bench: error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    payload = run_gateway_bench(
+        shards=args.shards,
+        rps=args.rps,
+        duration_s=args.duration,
+        corpus=args.corpus,
+        n=args.n,
+        seed=args.seed,
+        inline=args.inline,
+        workers=args.workers,
+    )
+    print(
+        f"gateway: {args.shards} shards, {payload['sent']} requests at "
+        f"{payload['params']['rps']:.0f} rps open-loop "
+        f"({payload['achieved_rps']:.1f} achieved)"
+    )
+    print(
+        f"latency p50 {payload['p50_ms']:8.3f} ms   p99 {payload['p99_ms']:8.3f} ms   "
+        f"completed {payload['completed']}/{payload['sent']} "
+        f"(429s {payload['rejected']}, errors {payload['errors']})"
+    )
+    for i, snap in enumerate(payload["per_shard"]):
+        total = max(1, snap["requests"])
+        print(
+            f"shard {i}: requests={snap['requests']} hits={snap['hits']} "
+            f"misses={snap['misses']} batched={snap['batched']} "
+            f"hit_ratio={snap['hits'] / total:.2f}"
+        )
+    gw = payload["gateway"]
+    print(
+        "gateway counters: "
+        + ", ".join(f"{name}={gw[name]}" for name in ("admitted", "rejected", "sharded", "quota_denied"))
+    )
+    print(
+        f"oracle: disagreements={payload['disagreements']} "
+        f"route_mismatches={payload['route_mismatches']}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    failures = []
+    if payload["disagreements"]:
+        failures.append(f"{payload['disagreements']} gateway-vs-direct disagreements")
+    if payload["route_mismatches"]:
+        failures.append(f"{payload['route_mismatches']} shard-routing mismatches")
+    if payload["errors"]:
+        failures.append(f"{payload['errors']} transport/server errors")
+    zero_hit = [i for i, s in enumerate(payload["per_shard"]) if s["hits"] == 0]
+    if zero_hit:
+        failures.append(f"shards with zero cache hits: {zero_hit}")
+    if args.max_p99_ms is not None and payload["p99_ms"] > args.max_p99_ms:
+        failures.append(
+            f"p99 {payload['p99_ms']:.1f} ms above SLO {args.max_p99_ms:.1f} ms"
+        )
+    if failures:
+        for failure in failures:
+            print(f"repro-bench gateway-bench: {failure}", file=sys.stderr)
         return 1
     return 0
 
@@ -435,6 +524,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--min-speedup", type=float, default=None,
         help="exit 1 unless cached p50 is this many times below cold p50",
     )
+    gateway_p = sub.add_parser(
+        "gateway-bench", help="open-loop load against a sharded gateway fleet"
+    )
+    gateway_p.add_argument("--shards", type=int, default=2, help="shard worker processes")
+    gateway_p.add_argument("--rps", type=float, default=50.0, help="open-loop arrival rate")
+    gateway_p.add_argument("--duration", type=float, default=15.0, help="timed phase seconds")
+    gateway_p.add_argument("--corpus", type=int, default=24, help="distinct instances")
+    gateway_p.add_argument("--n", type=int, default=12, help="jobs per instance")
+    gateway_p.add_argument("--seed", type=int, default=7, help="corpus + arrival seed")
+    gateway_p.add_argument("--workers", type=int, default=2, help="solver threads per shard")
+    gateway_p.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: caps rps/duration/corpus/n for a ~10s smoke run",
+    )
+    gateway_p.add_argument(
+        "--inline", action="store_true",
+        help="in-process shards (no worker processes; tests/debugging)",
+    )
+    gateway_p.add_argument(
+        "--max-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 1 if timed-phase p99 latency exceeds this SLO",
+    )
+    gateway_p.add_argument(
+        "--out", default=None, metavar="PATH", help="write the bench JSON payload"
+    )
     sub.add_parser("cells", help="list registered sweep cells")
     report_p = sub.add_parser("report", help="run everything and write REPORT.md")
     report_p.add_argument("--out", default="REPORT.md", help="output path")
@@ -490,6 +604,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "gateway-bench":
+        return _cmd_gateway_bench(args)
     if args.command == "cells":
         from repro.analysis.config import CELL_REGISTRY
 

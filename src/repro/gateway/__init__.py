@@ -1,0 +1,24 @@
+"""repro.gateway — the sharded asyncio HTTP front door over solver shards.
+
+Requests hash-shard by canonical instance key across a fleet of
+:class:`~repro.serve.SolverService` worker processes, with admission
+control, 429-backpressure, per-tenant token-bucket quotas and
+shard-aware micro-batching.  Wire format is ``repro-wire/1``
+(:class:`repro.api.SolveRequest` / :class:`repro.api.SolveResult`).
+See ``docs/GATEWAY.md``.
+"""
+
+from repro.gateway.core import Gateway
+from repro.gateway.routing import QuotaManager, TokenBucket, shard_for_key
+from repro.gateway.shard import InlineShard, ProcessShard, ShardError, ShardLink
+
+__all__ = [
+    "Gateway",
+    "InlineShard",
+    "ProcessShard",
+    "QuotaManager",
+    "ShardError",
+    "ShardLink",
+    "TokenBucket",
+    "shard_for_key",
+]

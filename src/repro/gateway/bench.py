@@ -1,0 +1,252 @@
+"""Open-loop load generation against a live gateway (``repro gateway-bench``).
+
+The generator is *open loop*: arrivals follow a Poisson process at the
+target RPS, fired on schedule whether or not earlier requests have come
+back — so a slow gateway accumulates in-flight work and its latency tail
+shows up honestly instead of being hidden by closed-loop self-throttling.
+
+Phases:
+
+1. **warmup** — every corpus instance is requested twice, sequentially:
+   the first pass populates each owning shard's cache (misses), the
+   second proves a hit on every shard that owns at least one key.  The
+   warmup responses double as the oracle sample: each value is compared
+   against a direct :func:`repro.api.solve_k_bounded` call
+   (``disagreements`` must be 0) and each response's ``shard`` against
+   :func:`~repro.gateway.routing.shard_for_key` (``route_mismatches``
+   must be 0).
+2. **timed open loop** — ``duration_s * rps`` Poisson arrivals sampling
+   the corpus uniformly; p50/p99 latency, throughput and per-shard cache
+   hit ratios are reported.
+
+The payload (schema ``repro-gateway-bench/1``) is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import SolveRequest, SolveResult, solve_k_bounded
+from repro.gateway.core import Gateway
+from repro.gateway.routing import shard_for_key
+
+__all__ = ["run_gateway_bench"]
+
+BENCH_FORMAT = "repro-gateway-bench/1"
+
+
+async def _http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc: Optional[Dict[str, Any]] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP request over a fresh connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(doc).encode() if doc is not None else b""
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        payload = await reader.readexactly(content_length) if content_length else b"{}"
+        return status, json.loads(payload)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _build_corpus(corpus: int, n: int, seed: int, shards: int):
+    """Seeded corpus of (SolveRequest, wire doc), covering every shard."""
+    from repro.instances import random_jobs
+
+    rng = random.Random(seed)
+    requests: List[SolveRequest] = []
+    covered = set()
+    offset = 0
+    # Top up past `corpus` only if some shard would otherwise own no key
+    # (astronomically unlikely at corpus >= 2 * shards, but the per-shard
+    # hit gate must never flake on a bad draw).
+    while len(requests) < corpus or (len(covered) < shards and offset < corpus + 64):
+        jobs = random_jobs(n, seed=seed + offset)
+        offset += 1
+        req = SolveRequest(jobs=jobs, k=rng.choice((1, 2)))
+        requests.append(req)
+        covered.add(shard_for_key(req.canonical_key(), shards))
+    return [(req, req.to_wire()) for req in requests]
+
+
+async def _run_bench(
+    *,
+    shards: int,
+    rps: float,
+    duration_s: float,
+    corpus: int,
+    n: int,
+    seed: int,
+    inline: bool,
+    max_inflight_per_shard: int,
+    batch_window_ms: float,
+    workers: int,
+) -> Dict[str, Any]:
+    if inline:
+        from repro.gateway.shard import InlineShard
+
+        factory = lambda index: InlineShard(workers=workers)
+    else:
+        factory = None
+    gateway = Gateway(
+        shards=shards,
+        max_inflight_per_shard=max_inflight_per_shard,
+        batch_window_ms=batch_window_ms,
+        service_kwargs={"workers": workers},
+        shard_factory=factory,
+    )
+    await gateway.start()
+    host, port = "127.0.0.1", gateway.port
+    try:
+        pairs = _build_corpus(corpus, n, seed, shards)
+
+        # -- warmup + oracle sample ------------------------------------------
+        disagreements = 0
+        route_mismatches = 0
+        for _pass in range(2):
+            for req, doc in pairs:
+                status, payload = await _http_json(host, port, "POST", "/v1/solve", doc)
+                if status != 200:
+                    raise RuntimeError(
+                        f"warmup request failed: HTTP {status} {payload}"
+                    )
+                expected_shard = shard_for_key(req.canonical_key(), shards)
+                if payload["shard"] != expected_shard:
+                    route_mismatches += 1
+                if _pass == 0:
+                    served = SolveResult.from_wire(payload["result"])
+                    direct = solve_k_bounded(req.jobs, k=req.k)
+                    if served.value != direct.value:
+                        disagreements += 1
+
+        # -- timed open loop -------------------------------------------------
+        loop = asyncio.get_event_loop()
+        arrival_rng = random.Random(seed + 1)
+        pick_rng = random.Random(seed + 2)
+        total = max(1, int(rps * duration_s))
+        latencies_ms: List[float] = []
+        status_counts: Dict[int, int] = {}
+
+        async def one_request(doc: Dict[str, Any]) -> None:
+            t0 = loop.time()
+            try:
+                status, _payload = await _http_json(host, port, "POST", "/v1/solve", doc)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                status = -1
+            elapsed_ms = (loop.time() - t0) * 1e3
+            status_counts[status] = status_counts.get(status, 0) + 1
+            if status == 200:
+                latencies_ms.append(elapsed_ms)
+
+        tasks = []
+        bench_t0 = loop.time()
+        next_arrival = 0.0
+        for _ in range(total):
+            next_arrival += arrival_rng.expovariate(rps)
+            delay = bench_t0 + next_arrival - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            _, doc = pairs[pick_rng.randrange(len(pairs))]
+            tasks.append(asyncio.ensure_future(one_request(doc)))
+        await asyncio.gather(*tasks)
+        elapsed_s = loop.time() - bench_t0
+
+        _status, stats_payload = await _http_json(host, port, "GET", "/v1/stats")
+    finally:
+        await gateway.stop()
+
+    latencies_ms.sort()
+    completed = status_counts.get(200, 0)
+    return {
+        "format": BENCH_FORMAT,
+        "params": {
+            "shards": shards,
+            "rps": rps,
+            "duration_s": duration_s,
+            "corpus": len(pairs),
+            "n": n,
+            "seed": seed,
+            "inline": inline,
+        },
+        "sent": total,
+        "completed": completed,
+        "rejected": status_counts.get(429, 0),
+        "errors": total - completed - status_counts.get(429, 0),
+        "achieved_rps": total / elapsed_s if elapsed_s > 0 else 0.0,
+        "p50_ms": _quantile(latencies_ms, 0.50),
+        "p99_ms": _quantile(latencies_ms, 0.99),
+        "disagreements": disagreements,
+        "route_mismatches": route_mismatches,
+        "per_shard": stats_payload["shards"],
+        "fleet": stats_payload["fleet"],
+        "gateway": stats_payload["gateway"],
+    }
+
+
+def run_gateway_bench(
+    *,
+    shards: int = 2,
+    rps: float = 30.0,
+    duration_s: float = 8.0,
+    corpus: int = 12,
+    n: int = 10,
+    seed: int = 7,
+    inline: bool = False,
+    max_inflight_per_shard: int = 64,
+    batch_window_ms: float = 5.0,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Start a gateway fleet, drive it open-loop, return the bench payload."""
+    return asyncio.run(
+        _run_bench(
+            shards=shards,
+            rps=rps,
+            duration_s=duration_s,
+            corpus=corpus,
+            n=n,
+            seed=seed,
+            inline=inline,
+            max_inflight_per_shard=max_inflight_per_shard,
+            batch_window_ms=batch_window_ms,
+            workers=workers,
+        )
+    )

@@ -1,0 +1,371 @@
+"""The asyncio HTTP front door over a fleet of solver shards.
+
+:class:`Gateway` is a stdlib-only HTTP/1.1 server
+(:func:`asyncio.start_server`, hand-rolled request parsing — no heavy
+deps) that:
+
+* **shards** every ``POST /v1/solve`` by the instance's canonical key
+  (:func:`~repro.gateway.routing.shard_for_key`), so the same canonical
+  instance always lands on the same :class:`~repro.serve.SolverService`
+  and its cache;
+* **admits** under a per-shard in-flight bound — saturation answers
+  ``429`` with ``Retry-After`` instead of queueing unboundedly
+  (backpressure, not buffering);
+* **meters** tenants through token buckets (``X-Tenant`` header, default
+  tenant otherwise); an empty bucket is also a ``429``, with the bucket's
+  own refill time as ``Retry-After``;
+* **batches** compatible no-deadline requests per shard inside a small
+  window, draining them through the shard's
+  :meth:`~repro.serve.SolverService.submit_batch` so concurrent cache
+  misses become one cross-instance batched solve.  Deadline-bearing
+  requests bypass the batcher (their budget must not pay the window).
+
+Wire format is ``repro-wire/1`` end to end: the request body is
+``SolveRequest.to_wire()``, the response wraps ``SolveResult.to_wire()``
+together with the serving shard's index.  Counters
+``gateway.admitted/rejected/sharded/quota_denied`` flow into the ambient
+:mod:`repro.obs` tracer.  See ``docs/GATEWAY.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import WIRE_FORMAT, SolveRequest
+from repro.gateway.routing import QuotaManager, shard_for_key
+from repro.gateway.shard import ProcessShard, ShardError
+from repro.obs.tracer import current_tracer
+from repro.serve.service import ServiceStats
+
+__all__ = ["Gateway"]
+
+_COUNTERS = ("admitted", "rejected", "sharded", "quota_denied")
+
+
+class _ShardBatcher:
+    """Per-shard micro-batcher: queue for one window, drain as one batch."""
+
+    def __init__(self, shard, window_ms: float, batch_max: int):
+        self._shard = shard
+        self._window_s = max(0.0, window_ms) / 1e3
+        self._batch_max = max(1, batch_max)
+        self._queue: List[Tuple[Dict[str, Any], "asyncio.Future"]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+
+    async def submit(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Enqueue one wire request doc; resolves to its wire result doc."""
+        fut: "asyncio.Future[Dict[str, Any]]" = asyncio.get_event_loop().create_future()
+        self._queue.append((doc, fut))
+        if len(self._queue) >= self._batch_max:
+            self._flush_now()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                self._window_s, self._flush_now
+            )
+        return await fut
+
+    def _flush_now(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._queue = self._queue, []
+        if batch:
+            asyncio.ensure_future(self._drain(batch))
+
+    async def _drain(self, batch) -> None:
+        try:
+            if len(batch) == 1:
+                reply = await self._shard.call("solve", request=batch[0][0])
+                results = [reply["result"]]
+            else:
+                reply = await self._shard.call(
+                    "batch", requests=[doc for doc, _ in batch]
+                )
+                results = reply["results"]
+        except BaseException as exc:
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for (_, fut), result in zip(batch, results):
+            if not fut.done():
+                fut.set_result(result)
+
+
+class Gateway:
+    """Sharded HTTP gateway over ``shards`` solver worker processes.
+
+    ``shard_factory`` builds one shard per index (default
+    :class:`~repro.gateway.shard.ProcessShard` with ``service_kwargs``);
+    tests pass :class:`~repro.gateway.shard.InlineShard` to stay in one
+    process.  ``quota_rate``/``quota_burst`` configure per-tenant token
+    buckets (``None`` disables quotas); ``max_inflight_per_shard`` bounds
+    admission; ``batch_window_ms``/``batch_max`` tune micro-batching.
+
+    Endpoints: ``POST /v1/solve``, ``GET /v1/stats``, ``GET /v1/healthz``.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight_per_shard: int = 64,
+        quota_rate: Optional[float] = None,
+        quota_burst: Optional[float] = None,
+        batch_window_ms: float = 5.0,
+        batch_max: int = 16,
+        service_kwargs: Optional[Dict[str, Any]] = None,
+        shard_factory=None,
+        tracer=None,
+        clock=None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_inflight_per_shard < 1:
+            raise ValueError(
+                f"max_inflight_per_shard must be >= 1, got {max_inflight_per_shard}"
+            )
+        self._n_shards = shards
+        self._host = host
+        self._port = port
+        self._max_inflight = max_inflight_per_shard
+        quota_kwargs = {} if clock is None else {"clock": clock}
+        self._quota = QuotaManager(quota_rate, quota_burst, **quota_kwargs)
+        self._batch_window_ms = batch_window_ms
+        self._batch_max = batch_max
+        if shard_factory is None:
+            kwargs = dict(service_kwargs or {})
+            shard_factory = lambda index: ProcessShard(service_kwargs=kwargs)
+        self._shard_factory = shard_factory
+        self._tracer = tracer if tracer is not None else current_tracer()
+        self._shards: List[Any] = []
+        self._batchers: List[_ShardBatcher] = []
+        self._inflight: List[int] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        return self._port
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    async def start(self) -> None:
+        """Start the shard fleet, then the HTTP server."""
+        for index in range(self._n_shards):
+            shard = self._shard_factory(index)
+            await shard.start()
+            self._shards.append(shard)
+            self._batchers.append(
+                _ShardBatcher(shard, self._batch_window_ms, self._batch_max)
+            )
+            self._inflight.append(0)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections, then stop every shard."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for shard in self._shards:
+            await shard.stop()
+        self._shards = []
+        self._batchers = []
+        self._inflight = []
+
+    async def __aenter__(self) -> "Gateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _count(self, name: str) -> None:
+        self.counters[name] += 1
+        if self._tracer is not None:
+            self._tracer.count(f"gateway.{name}")
+
+    # -- request routing ------------------------------------------------------
+
+    def shard_for(self, request: SolveRequest) -> int:
+        """The shard index that will serve this request (deterministic)."""
+        return shard_for_key(request.canonical_key(), self._n_shards)
+
+    async def handle_solve(
+        self, doc: Dict[str, Any], tenant: str = "default"
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """The full admission/routing/dispatch path for one wire request.
+
+        Returns ``(http_status, payload, extra_headers)``.  Exposed
+        separately from the HTTP layer so tests and oracles can drive the
+        gateway without sockets.
+        """
+        ok, retry_after = self._quota.check(tenant)
+        if not ok:
+            self._count("quota_denied")
+            return (
+                429,
+                {"error": "tenant quota exhausted", "tenant": tenant},
+                {"Retry-After": str(max(1, math.ceil(retry_after)))},
+            )
+        try:
+            request = SolveRequest.from_wire(doc)
+        except (ValueError, TypeError, KeyError) as exc:
+            return 400, {"error": str(exc)}, {}
+        shard_index = self.shard_for(request)
+        self._count("sharded")
+        if self._inflight[shard_index] >= self._max_inflight:
+            self._count("rejected")
+            return (
+                429,
+                {"error": "shard saturated", "shard": shard_index},
+                {"Retry-After": "1"},
+            )
+        self._count("admitted")
+        self._inflight[shard_index] += 1
+        try:
+            if request.deadline_ms is not None:
+                reply = await self._shards[shard_index].call("solve", request=doc)
+                result_doc = reply["result"]
+            else:
+                result_doc = await self._batchers[shard_index].submit(doc)
+        except ShardError as exc:
+            status = 400 if exc.is_client_error else 502
+            return status, {"error": str(exc), "shard": shard_index}, {}
+        finally:
+            self._inflight[shard_index] -= 1
+        return (
+            200,
+            {
+                "format": WIRE_FORMAT,
+                "kind": "solve_response",
+                "shard": shard_index,
+                "result": result_doc,
+            },
+            {},
+        )
+
+    async def fleet_stats(self) -> Dict[str, Any]:
+        """Aggregated fleet stats plus the gateway's own counters."""
+        per_shard = []
+        for shard in self._shards:
+            reply = await shard.call("stats")
+            per_shard.append(reply["stats"])
+        total = ServiceStats.aggregate(
+            ServiceStats(**snap) for snap in per_shard
+        )
+        return {
+            "format": WIRE_FORMAT,
+            "kind": "gateway_stats",
+            "shards": per_shard,
+            "fleet": total.as_dict(),
+            "gateway": dict(self.counters),
+            "inflight": list(self._inflight),
+        }
+
+    # -- the HTTP layer -------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if method == "POST" and path == "/v1/solve":
+            try:
+                doc = json.loads(body)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"bad JSON body: {exc}"}, {}
+            tenant = headers.get("x-tenant", "default")
+            return await self.handle_solve(doc, tenant=tenant)
+        if method == "GET" and path == "/v1/stats":
+            return 200, await self.fleet_stats(), {}
+        if method == "GET" and path == "/v1/healthz":
+            try:
+                for shard in self._shards:
+                    await shard.call("ping")
+            except ShardError as exc:
+                return 503, {"status": "degraded", "error": str(exc)}, {}
+            return 200, {"status": "ok", "shards": self._n_shards}, {}
+        return 404, {"error": f"no route for {method} {path}"}, {}
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await _write_response(
+                        writer, 400, {"error": "malformed request line"}, {}, False
+                    )
+                    break
+                method, path, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or "0")
+                body = await reader.readexactly(length) if length else b""
+                status, payload, extra = await self._route(method, path, headers, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await _write_response(writer, status, payload, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, Any],
+    extra_headers: Dict[str, str],
+    keep_alive: bool,
+) -> None:
+    body = json.dumps(payload).encode()
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    try:
+        await writer.drain()
+    except ConnectionError:
+        pass

@@ -1,0 +1,109 @@
+"""Shard routing and per-tenant admission primitives for the gateway.
+
+Routing is pure hashing: a request lands on the shard owned by its
+instance's :meth:`~repro.scheduling.job.JobSet.canonical_key` — the same
+order- and representation-independent SHA-256 hex the
+:class:`~repro.serve.SolverService` cache is keyed by.  Permuted or
+re-typed copies of an instance therefore always hit the same shard, and
+that shard's cache, so the fleet behaves like one big cache partitioned
+by key space (no cross-shard duplication of hot entries).
+
+Quotas are classic token buckets, one per tenant, with an injectable
+clock so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["shard_for_key", "TokenBucket", "QuotaManager"]
+
+
+def shard_for_key(canonical_key: str, shards: int) -> int:
+    """The shard index owning a canonical instance key.
+
+    Deterministic in the key alone: the first 64 bits of the hex digest,
+    modulo the shard count.  The digest is already uniform, so this is an
+    even partition without any extra mixing.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if len(canonical_key) < 16:
+        raise ValueError(f"canonical key too short: {canonical_key!r}")
+    return int(canonical_key[:16], 16) % shards
+
+
+class TokenBucket:
+    """A token bucket: sustained ``rate`` tokens/s, bursts up to ``burst``.
+
+    Not thread-safe — the gateway drives it from one event loop.  The
+    ``clock`` is injectable (monotonic seconds) so tests can step time.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Take ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after_s)``
+        where ``retry_after_s`` is when the bucket will next hold ``cost``
+        tokens at the sustained rate.
+        """
+        now = self._clock()
+        self._tokens = min(self._burst, self._tokens + (now - self._last) * self._rate)
+        self._last = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        return False, (cost - self._tokens) / self._rate
+
+
+class QuotaManager:
+    """Per-tenant token buckets, created lazily on first sight of a tenant.
+
+    ``rate=None`` disables quotas entirely (every check admits).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._rate = rate
+        self._burst = float(burst) if burst is not None else (
+            max(1.0, 2.0 * rate) if rate is not None else 1.0
+        )
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate is not None
+
+    def check(self, tenant: str) -> Tuple[bool, float]:
+        """Admit one request for ``tenant``; see :meth:`TokenBucket.try_acquire`."""
+        if self._rate is None:
+            return True, 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket.try_acquire()

@@ -6,6 +6,6 @@ coalescing and deadline-driven degradation.  See ``docs/SERVING.md``.
 """
 
 from repro.serve.cache import LruCache
-from repro.serve.service import ServiceClosed, SolverService
+from repro.serve.service import ServiceClosed, ServiceStats, SolverService
 
-__all__ = ["LruCache", "ServiceClosed", "SolverService"]
+__all__ = ["LruCache", "ServiceClosed", "ServiceStats", "SolverService"]

@@ -20,11 +20,16 @@ sweep cells and paper instances get re-requested constantly):
   with ``metrics["served.degraded"]``.  Degraded results are never
   cached: the cache key promises the full-pipeline artifact.
 
-The API is synchronous-friendly: :meth:`SolverService.submit` returns a
+The API is synchronous-friendly and takes one value object per request:
+:meth:`SolverService.submit` accepts a single
+:class:`repro.api.SolveRequest` and returns a
 :class:`concurrent.futures.Future` resolving to a
-:class:`~repro.api.SolveResult`; :meth:`SolverService.solve` blocks.
-Execution is concurrent on a bounded worker pool.  Failed solves are
-retried once before the failure (or the degraded fallback, when a
+:class:`~repro.api.SolveResult`; :meth:`SolverService.solve` blocks.  The
+legacy ``(jobs, k, machines=…, method=…, deadline_ms=…)`` spellings keep
+working for one deprecation cycle through
+:func:`repro.utils.compat.warn_legacy_request` shims (one warning per
+call).  Execution is concurrent on a bounded worker pool.  Failed solves
+are retried once before the failure (or the degraded fallback, when a
 deadline is set) is surfaced.
 
 Observability: every request runs under a private tracer whose spans
@@ -42,14 +47,16 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.api import SolveResult, request_key, solve_k_bounded, solve_k_bounded_batch
+from repro.api import SolveRequest, SolveResult, solve_k_bounded, solve_k_bounded_batch
 from repro.obs.tracer import Tracer, current_tracer
 from repro.scheduling.job import JobSet
 from repro.serve.cache import LruCache
+from repro.utils.compat import warn_legacy_request
 
-__all__ = ["SolverService", "ServiceClosed"]
+__all__ = ["ServiceStats", "SolverService", "ServiceClosed"]
 
 #: Stat fields reported by :meth:`SolverService.stats`, all monotonic.
 _STAT_NAMES = (
@@ -64,6 +71,56 @@ _STAT_NAMES = (
     "timeouts",
     "errors",
 )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One service's counter snapshot, as a typed value object.
+
+    The field names are exactly the keys the old plain-dict ``stats()``
+    used, so nothing downstream has to re-learn names — and the gateway
+    can aggregate a whole fleet's stats without string-key drift:
+    :meth:`aggregate` sums snapshots field by field.  ``cache_size`` and
+    ``inflight`` are occupancy gauges, everything else is monotonic.
+
+    Dict-style access (``stats["hits"]``) and :meth:`as_dict` keep the
+    historical call sites working verbatim.
+    """
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    batched: int = 0
+    degraded: int = 0
+    evictions: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    cache_size: int = 0
+    inflight: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The plain-dict form (JSON payloads, legacy callers)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __getitem__(self, name: str) -> int:
+        if name not in self.__dataclass_fields__:
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.__dataclass_fields__
+
+    @classmethod
+    def aggregate(cls, snapshots: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Field-wise sum over a fleet (occupancy gauges sum too: the
+        aggregate's ``cache_size``/``inflight`` are fleet totals)."""
+        totals = {f.name: 0 for f in fields(cls)}
+        for snap in snapshots:
+            for name in totals:
+                totals[name] += getattr(snap, name)
+        return cls(**totals)
 
 
 class ServiceClosed(RuntimeError):
@@ -127,18 +184,84 @@ class SolverService:
             self._closed = True
         self._pool.shutdown(wait=wait)
 
+    # -- request coercion (the SolveRequest redesign + legacy shims) ----------
+
+    def _coerce_request(
+        self,
+        fn_name: str,
+        request,
+        k,
+        machines,
+        method,
+        deadline_ms,
+    ) -> SolveRequest:
+        """One :class:`SolveRequest` from either calling convention.
+
+        The redesigned surface takes a single ``SolveRequest``; the legacy
+        ``(jobs, k, machines=…, method=…, deadline_ms=…)`` spelling keeps
+        working for one deprecation cycle and warns exactly once per call.
+        Mixing the two spellings is a ``TypeError``.
+        """
+        if isinstance(request, SolveRequest):
+            if k is not None or machines is not None or method is not None \
+                    or deadline_ms is not None:
+                raise TypeError(
+                    f"SolverService.{fn_name}() takes no extra arguments "
+                    f"when given a SolveRequest — set them on the request"
+                )
+            return request
+        if k is None:
+            raise TypeError(
+                f"SolverService.{fn_name}() expects a SolveRequest "
+                f"(or the deprecated (jobs, k, ...) form)"
+            )
+        warn_legacy_request(f"SolverService.{fn_name}")
+        return SolveRequest(
+            jobs=request,
+            k=k,
+            machines=1 if machines is None else machines,
+            method="auto" if method is None else method,
+            deadline_ms=deadline_ms,
+        )
+
+    def _coerce_batch(self, fn_name: str, requests, machines, method) -> List[SolveRequest]:
+        """A list of :class:`SolveRequest` from either batch convention."""
+        items = list(requests)
+        if all(isinstance(item, SolveRequest) for item in items):
+            if items and (machines is not None or method is not None):
+                raise TypeError(
+                    f"SolverService.{fn_name}() takes no machines/method "
+                    f"arguments when given SolveRequests — set them on the requests"
+                )
+            return items
+        if any(isinstance(item, SolveRequest) for item in items):
+            raise TypeError(
+                f"SolverService.{fn_name}() got a mix of SolveRequests and "
+                f"legacy (jobs, k) tuples"
+            )
+        warn_legacy_request(f"SolverService.{fn_name}")
+        return [
+            SolveRequest(
+                jobs=jobs,
+                k=k,
+                machines=1 if machines is None else machines,
+                method="auto" if method is None else method,
+            )
+            for jobs, k in items
+        ]
+
     # -- the public surface ---------------------------------------------------
 
     def submit(
         self,
-        jobs: JobSet,
-        k: int,
+        request,
+        k: Optional[int] = None,
         *,
-        machines: int = 1,
-        method: str = "auto",
+        machines: Optional[int] = None,
+        method: Optional[str] = None,
         deadline_ms: Optional[float] = None,
     ) -> "Future[SolveResult]":
-        """Enqueue one solve request; returns a future of its result.
+        """Enqueue one :class:`SolveRequest`; returns a future of its result.
 
         Cache hits resolve immediately (the result carries
         ``metrics["served.hit"]``); a duplicate of an in-flight request
@@ -148,14 +271,18 @@ class SolverService:
         everything else dispatches to the worker pool.  Argument
         validation errors raise here, in the caller's thread — only solver
         failures travel through the future.
+
+        The legacy ``submit(jobs, k, machines=…, method=…, deadline_ms=…)``
+        spelling still works and warns once per call.
         """
-        if k < 0:
-            raise ValueError(f"k must be >= 0, got {k}")
-        if machines < 1:
-            raise ValueError(f"machines must be >= 1, got {machines}")
-        key = request_key(jobs, k, machines=machines, method=method)
-        if deadline_ms is None:
-            deadline_ms = self._default_deadline_ms
+        req = self._coerce_request("submit", request, k, machines, method, deadline_ms)
+        return self._submit_request(req)
+
+    def _submit_request(self, req: SolveRequest) -> "Future[SolveResult]":
+        key = req.key()
+        deadline_ms = (
+            req.deadline_ms if req.deadline_ms is not None else self._default_deadline_ms
+        )
         with self._lock:
             if self._closed:
                 raise ServiceClosed("submit on a shut-down SolverService")
@@ -185,7 +312,8 @@ class SolverService:
             self._count_tracer("serve.misses")
         try:
             self._pool.submit(
-                self._run, key, fut, jobs, k, machines, method, deadline_ms
+                self._run, key, fut, req.jobs, req.k, req.machines, req.method,
+                deadline_ms,
             )
         except RuntimeError:
             # shutdown() won the race between our _closed check and the pool
@@ -200,55 +328,60 @@ class SolverService:
 
     def solve(
         self,
-        jobs: JobSet,
-        k: int,
+        request,
+        k: Optional[int] = None,
         *,
-        machines: int = 1,
-        method: str = "auto",
+        machines: Optional[int] = None,
+        method: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         timeout: Optional[float] = None,
     ) -> SolveResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(
-            jobs, k, machines=machines, method=method, deadline_ms=deadline_ms
-        ).result(timeout=timeout)
+        req = self._coerce_request("solve", request, k, machines, method, deadline_ms)
+        return self._submit_request(req).result(timeout=timeout)
 
     def submit_batch(
         self,
         requests,
         *,
-        machines: int = 1,
-        method: str = "auto",
+        machines: Optional[int] = None,
+        method: Optional[str] = None,
     ) -> "list[Future[SolveResult]]":
-        """Enqueue many ``(jobs, k)`` requests; returns their futures in order.
+        """Enqueue many :class:`SolveRequest`\\ s; returns futures in order.
 
         Per request the cache/coalescing rules of :meth:`submit` apply
         (duplicates *within* the batch coalesce too).  What remains — the
-        cache misses — is grouped by ``k``, and every group of two or more
-        compatible requests (``k >= 1``, single machine, ``auto``/
-        ``combined`` method) is drained as *one* batched solve through
-        :func:`repro.api.solve_k_bounded_batch`, so the whole group's
-        schedule forests go through one cross-instance TM kernel dispatch.
-        Singleton or incompatible misses dispatch as ordinary requests.
-
-        Batch requests carry no deadline, so this path never degrades and
-        every result is cacheable; batched results are stamped with
+        no-deadline cache misses — is grouped by ``(k, machines, method)``,
+        and every group of two or more compatible requests (``k >= 1``,
+        single machine, ``auto``/``combined`` method) is drained as *one*
+        batched solve through :func:`repro.api.solve_k_bounded_batch`, so
+        the whole group's schedule forests go through one cross-instance TM
+        kernel dispatch.  Singleton or incompatible misses dispatch as
+        ordinary requests; a request carrying a ``deadline_ms`` dispatches
+        through the single-request path (deadline degradation applies to it
+        alone — batched solves never degrade and every batched result is
+        cacheable).  Batched results are stamped with
         ``metrics["served.batched"]``.
+
+        The legacy ``submit_batch([(jobs, k), …], machines=…, method=…)``
+        spelling still works and warns once per call.
         """
-        requests = [(jobs, int(k)) for jobs, k in requests]
-        for _, k in requests:
-            if k < 0:
-                raise ValueError(f"k must be >= 0, got {k}")
-        if machines < 1:
-            raise ValueError(f"machines must be >= 1, got {machines}")
-        futures: "list[Future[SolveResult]]" = []
-        groups: Dict[int, list] = {}
+        reqs = self._coerce_batch("submit_batch", requests, machines, method)
+        futures: "list[Optional[Future[SolveResult]]]" = [None] * len(reqs)
+        groups: Dict[Tuple[int, int, str], list] = {}
+        deadline_indices: List[int] = []
         batch_leaders: Dict[str, Future] = {}
         with self._lock:
             if self._closed:
                 raise ServiceClosed("submit_batch on a shut-down SolverService")
-            for jobs, k in requests:
-                key = request_key(jobs, k, machines=machines, method=method)
+            for idx, req in enumerate(reqs):
+                if req.deadline_ms is not None:
+                    # Deadline-bound requests take the single-request path
+                    # after the lock is released: they may degrade, so they
+                    # must not lead a batch (whose results are cached).
+                    deadline_indices.append(idx)
+                    continue
+                key = req.key()
                 self._stats["requests"] += 1
                 self._count_tracer("serve.requests")
                 cached = self._cache.get(key)
@@ -257,13 +390,13 @@ class SolverService:
                     self._count_tracer("serve.hits")
                     done: "Future[SolveResult]" = Future()
                     done.set_result(cached.with_metrics({"served.hit": 1.0}))
-                    futures.append(done)
+                    futures[idx] = done
                     continue
                 leader = batch_leaders.get(key)
                 if leader is not None:
                     self._stats["coalesced"] += 1
                     self._count_tracer("serve.coalesced")
-                    futures.append(leader)
+                    futures[idx] = leader
                     continue
                 entry = self._inflight.get(key)
                 if entry is not None and entry[1] is None:
@@ -273,39 +406,49 @@ class SolverService:
                     self._stats["coalesced"] += 1
                     self._count_tracer("serve.coalesced")
                     batch_leaders[key] = entry[0]
-                    futures.append(entry[0])
+                    futures[idx] = entry[0]
                     continue
                 fut: "Future[SolveResult]" = Future()
                 self._inflight[key] = (fut, None)
                 self._stats["misses"] += 1
                 self._count_tracer("serve.misses")
                 batch_leaders[key] = fut
-                groups.setdefault(k, []).append((key, fut, jobs))
-                futures.append(fut)
-        batchable = machines == 1 and method in ("auto", "combined")
-        for k, group in groups.items():
-            if batchable and k >= 1 and len(group) >= 2:
+                groups.setdefault((req.k, req.machines, req.method), []).append(
+                    (key, fut, req.jobs)
+                )
+                futures[idx] = fut
+        for (k_group, machines_group, method_group), group in groups.items():
+            batchable = (
+                machines_group == 1
+                and method_group in ("auto", "combined")
+                and k_group >= 1
+                and len(group) >= 2
+            )
+            if batchable:
                 with self._lock:
                     self._stats["batched"] += len(group)
                     self._count_tracer("serve.batched", len(group))
                 self._dispatch(
-                    self._run_batch, group, k, machines, method,
+                    self._run_batch, group, k_group, machines_group, method_group,
                     futs=[fut for _, fut, _ in group], keys=[key for key, _, _ in group],
                 )
             else:
                 for key, fut, jobs in group:
                     self._dispatch(
-                        self._run, key, fut, jobs, k, machines, method, None,
+                        self._run, key, fut, jobs, k_group, machines_group,
+                        method_group, None,
                         futs=[fut], keys=[key],
                     )
+        for idx in deadline_indices:
+            futures[idx] = self._submit_request(reqs[idx])
         return futures
 
     def solve_batch(
         self,
         requests,
         *,
-        machines: int = 1,
-        method: str = "auto",
+        machines: Optional[int] = None,
+        method: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> "list[SolveResult]":
         """Blocking convenience wrapper around :meth:`submit_batch`."""
@@ -326,13 +469,19 @@ class SolverService:
                         ServiceClosed("service shut down while dispatching the request")
                     )
 
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of the service counters plus cache/in-flight occupancy."""
+    def stats(self) -> ServiceStats:
+        """Snapshot of the service counters plus cache/in-flight occupancy.
+
+        Returns a frozen :class:`ServiceStats`; legacy dict-style access
+        (``stats()["hits"]``) still works, and :meth:`ServiceStats.as_dict`
+        gives the plain-dict form for JSON payloads.
+        """
         with self._lock:
-            out = dict(self._stats)
-            out["cache_size"] = len(self._cache)
-            out["inflight"] = len(self._inflight)
-        return out
+            return ServiceStats(
+                cache_size=len(self._cache),
+                inflight=len(self._inflight),
+                **self._stats,
+            )
 
     def clear_cache(self) -> None:
         """Drop every cached result (benchmarks use this for cold timings)."""

@@ -13,7 +13,28 @@ from __future__ import annotations
 import warnings
 from typing import Any, Tuple
 
-__all__ = ["take_deprecated_positional", "warn_positional"]
+__all__ = [
+    "take_deprecated_positional",
+    "warn_legacy_request",
+    "warn_positional",
+]
+
+
+def warn_legacy_request(fn_name: str, *, stacklevel: int = 4) -> None:
+    """Deprecation warning for the pre-SolveRequest service call forms.
+
+    PR 7 redesigned :class:`repro.serve.SolverService` around a single
+    :class:`repro.api.SolveRequest` argument; the old
+    ``(jobs, k, machines=…, method=…, deadline_ms=…)`` spellings keep
+    working for one deprecation cycle through this shim, which warns
+    exactly once per call.
+    """
+    warnings.warn(
+        f"calling {fn_name}() with (jobs, k, ...) is deprecated; pass a "
+        f"single repro.api.SolveRequest instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 def warn_positional(fn_name: str, params: str) -> None:

@@ -26,6 +26,8 @@ from repro.scheduling.job import JobSet
 
 def test_api_all_snapshot():
     assert api.__all__ == [
+        "WIRE_FORMAT",
+        "SolveRequest",
         "SolveResult",
         "request_key",
         "solve_k_bounded",

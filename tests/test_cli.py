@@ -113,11 +113,14 @@ class TestServeBench:
         )
         text = capsys.readouterr().out
         assert "cached p50 speedup" in text
+        # The summary line reports every service counter, batched included.
+        assert "batched=" in text
         import json
 
         payload = json.loads(out.read_text())
         assert payload["requests"] == 60
         assert payload["stats"]["hits"] == 60
+        assert "batched" in payload["stats"]
         assert payload["cached_p50_ms"] > 0
         assert payload["p50_speedup"] > 1
 
@@ -138,3 +141,46 @@ class TestServeBench:
     def test_serve_bench_rejects_bad_requests(self, capsys):
         assert main(["serve-bench", "--requests", "0"]) == 2
         assert "--requests" in capsys.readouterr().err
+
+
+class TestGatewayBench:
+    def test_gateway_bench_inline_reports_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "gateway.json"
+        assert (
+            main(
+                [
+                    "gateway-bench", "--inline", "--shards", "2",
+                    "--rps", "40", "--duration", "1", "--corpus", "6",
+                    "--n", "6", "--max-p99-ms", "5000", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "latency p50" in text
+        assert "shard 0:" in text and "shard 1:" in text
+        assert "disagreements=0" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-gateway-bench/1"
+        assert payload["disagreements"] == 0
+        assert payload["route_mismatches"] == 0
+        assert all(s["hits"] > 0 for s in payload["per_shard"])
+
+    def test_gateway_bench_p99_gate_flips_exit_code(self, capsys):
+        assert (
+            main(
+                [
+                    "gateway-bench", "--inline", "--shards", "2",
+                    "--rps", "30", "--duration", "1", "--corpus", "4",
+                    "--n", "6", "--max-p99-ms", "0.000001",
+                ]
+            )
+            == 1
+        )
+        assert "above SLO" in capsys.readouterr().err
+
+    def test_gateway_bench_rejects_bad_shards(self, capsys):
+        assert main(["gateway-bench", "--shards", "0", "--inline"]) == 2
+        assert "--shards" in capsys.readouterr().err

@@ -174,3 +174,96 @@ def test_missing_required_keyword_raises(jobs):
         opt_k_exact_small(jobs)
     with pytest.raises(TypeError):
         multimachine_k_bounded(jobs)
+
+# ---------------------------------------------------------------------------
+# PR-7 shims: the pre-SolveRequest SolverService spellings
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def service():
+    from repro.serve import SolverService
+
+    with SolverService(workers=1) as svc:
+        yield svc
+
+
+SERVICE_CASES = [
+    (
+        "SolverService.submit",
+        lambda svc, js: svc.submit(js, 1).result(timeout=60),
+        lambda svc, js: svc.submit(
+            __import__("repro.api", fromlist=["SolveRequest"]).SolveRequest(jobs=js, k=1)
+        ).result(timeout=60),
+    ),
+    (
+        "SolverService.solve",
+        lambda svc, js: svc.solve(js, 1, timeout=60),
+        lambda svc, js: svc.solve(
+            __import__("repro.api", fromlist=["SolveRequest"]).SolveRequest(jobs=js, k=1),
+            timeout=60,
+        ),
+    ),
+    (
+        "SolverService.submit_batch",
+        lambda svc, js: [f.result(timeout=60) for f in svc.submit_batch([(js, 1), (js, 2)])],
+        lambda svc, js: [
+            f.result(timeout=60)
+            for f in svc.submit_batch(
+                [
+                    __import__("repro.api", fromlist=["SolveRequest"]).SolveRequest(jobs=js, k=1),
+                    __import__("repro.api", fromlist=["SolveRequest"]).SolveRequest(jobs=js, k=2),
+                ]
+            )
+        ],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,legacy,request_form", SERVICE_CASES, ids=[c[0] for c in SERVICE_CASES]
+)
+def test_service_legacy_spelling_warns_exactly_once(label, legacy, request_form, service, jobs):
+    _, deprecations = _call_positional_once(legacy, service, jobs)
+    assert len(deprecations) == 1, (
+        f"{label}: legacy call emitted {len(deprecations)} "
+        f"DeprecationWarnings, want exactly 1"
+    )
+    assert label in str(deprecations[0].message)
+    assert "SolveRequest" in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize(
+    "label,legacy,request_form", SERVICE_CASES, ids=[c[0] for c in SERVICE_CASES]
+)
+def test_service_request_form_is_silent(label, legacy, request_form, service, jobs):
+    _, deprecations = _call_positional_once(request_form, service, jobs)
+    assert deprecations == [], f"{label}: SolveRequest call warned: {deprecations}"
+
+
+@pytest.mark.parametrize(
+    "label,legacy,request_form", SERVICE_CASES, ids=[c[0] for c in SERVICE_CASES]
+)
+def test_service_legacy_and_request_results_identical(
+    label, legacy, request_form, jobs
+):
+    from repro.serve import SolverService
+
+    def values(out):
+        return [r.value for r in out] if isinstance(out, list) else out.value
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with SolverService(workers=1) as old_svc:
+            old = legacy(old_svc, jobs)
+        with SolverService(workers=1) as new_svc:
+            new = request_form(new_svc, jobs)
+    assert values(old) == values(new), f"{label}: legacy and request results differ"
+
+
+def test_service_legacy_warns_per_call_not_once_ever(service, jobs):
+    # Two legacy calls -> two warnings: the cycle warns per call, so a
+    # long-running service keeps nudging every un-migrated call site.
+    _, first = _call_positional_once(lambda: service.solve(jobs, 1, timeout=60))
+    _, second = _call_positional_once(lambda: service.solve(jobs, 1, timeout=60))
+    assert len(first) == 1 and len(second) == 1

@@ -1,0 +1,397 @@
+"""Tests for the sharded asyncio gateway (`repro.gateway`).
+
+Most tests drive :meth:`Gateway.handle_solve` directly or the real HTTP
+server over inline (in-process) shards — the full wire codec, routing,
+admission, quota and batching paths without forking.  One end-to-end
+test runs a real two-process shard fleet.
+"""
+
+import asyncio
+import json
+import warnings
+
+import pytest
+
+from repro.api import SolveRequest, SolveResult, solve_k_bounded
+from repro.gateway import (
+    Gateway,
+    InlineShard,
+    QuotaManager,
+    ShardError,
+    TokenBucket,
+    shard_for_key,
+)
+from repro.gateway.bench import _http_json, run_gateway_bench
+from repro.instances import random_jobs
+
+
+def _requests(count, n=8, seed=100, k=1):
+    return [
+        SolveRequest(jobs=random_jobs(n, seed=seed + i), k=k) for i in range(count)
+    ]
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _inline_factory(**service_kwargs):
+    service_kwargs.setdefault("workers", 1)
+    return lambda index: InlineShard(**service_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_deterministic_and_in_range(self):
+        for req in _requests(20):
+            key = req.canonical_key()
+            for shards in (1, 2, 3, 8):
+                first = shard_for_key(key, shards)
+                assert 0 <= first < shards
+                assert shard_for_key(key, shards) == first
+
+    def test_permuted_instance_same_shard(self):
+        req = _requests(1)[0]
+        from repro.scheduling.job import JobSet
+
+        twin = SolveRequest(jobs=JobSet(tuple(reversed(req.jobs.jobs))), k=req.k)
+        assert shard_for_key(twin.canonical_key(), 4) == shard_for_key(
+            req.canonical_key(), 4
+        )
+
+    def test_spreads_over_shards(self):
+        # 40 random keys over 2 shards: both sides must be populated.
+        assignments = {shard_for_key(r.canonical_key(), 2) for r in _requests(40)}
+        assert assignments == {0, 1}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            shard_for_key("ab" * 16, 0)
+        with pytest.raises(ValueError):
+            shard_for_key("short", 2)
+
+
+# ---------------------------------------------------------------------------
+# quotas
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire() == (True, 0.0)
+        ok, retry_after = bucket.try_acquire()
+        assert not ok and retry_after == pytest.approx(1.0)
+        now[0] += 1.0
+        assert bucket.try_acquire()[0]
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=3, clock=lambda: now[0])
+        now[0] += 60.0
+        for _ in range(3):
+            assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+    def test_manager_isolates_tenants_and_disables(self):
+        now = [0.0]
+        quota = QuotaManager(1.0, 1, clock=lambda: now[0])
+        assert quota.check("a")[0]
+        assert not quota.check("a")[0]
+        assert quota.check("b")[0]  # fresh tenant, fresh bucket
+        unlimited = QuotaManager(None)
+        assert all(unlimited.check("a")[0] for _ in range(100))
+
+
+# ---------------------------------------------------------------------------
+# gateway over inline shards
+# ---------------------------------------------------------------------------
+
+
+class TestGatewayInline:
+    def test_solve_routes_to_hashed_shard_and_hits_cache(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=2, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                outcomes = []
+                for req in _requests(6):
+                    status, payload, _ = await gateway.handle_solve(req.to_wire())
+                    repeat_status, repeat_payload, _ = await gateway.handle_solve(
+                        req.to_wire()
+                    )
+                    outcomes.append(
+                        (req, status, payload, repeat_status, repeat_payload)
+                    )
+                stats = await gateway.fleet_stats()
+            return outcomes, stats
+
+        outcomes, stats = _run(scenario())
+        for req, status, payload, repeat_status, repeat_payload in outcomes:
+            assert status == 200 and repeat_status == 200
+            expected = shard_for_key(req.canonical_key(), 2)
+            assert payload["shard"] == expected
+            assert repeat_payload["shard"] == expected
+            served = SolveResult.from_wire(payload["result"])
+            direct = solve_k_bounded(req.jobs, k=req.k)
+            assert served.value == direct.value
+            assert SolveResult.from_wire(repeat_payload["result"]).metrics.get(
+                "served.hit"
+            )
+        assert stats["fleet"]["hits"] >= 6
+        assert stats["gateway"]["admitted"] == 12
+        assert stats["gateway"]["sharded"] == 12
+
+    def test_batching_drains_compatible_misses_together(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=1,
+                shard_factory=_inline_factory(workers=2),
+                batch_window_ms=50.0,
+                batch_max=64,
+            )
+            async with gateway:
+                reqs = _requests(4, seed=300)
+                results = await asyncio.gather(
+                    *(gateway.handle_solve(r.to_wire()) for r in reqs)
+                )
+                stats = await gateway.fleet_stats()
+            return results, stats
+
+        results, stats = _run(scenario())
+        assert all(status == 200 for status, _, _ in results)
+        # All four arrived inside one window: the shard saw them as one
+        # submit_batch and drained the misses through a batched solve.
+        assert stats["fleet"]["batched"] == 4
+        for status, payload, _ in results:
+            assert SolveResult.from_wire(payload["result"]).metrics.get(
+                "served.batched"
+            )
+
+    def test_quota_denial_is_429_with_retry_after(self):
+        async def scenario():
+            now = [0.0]
+            gateway = Gateway(
+                shards=2,
+                shard_factory=_inline_factory(),
+                batch_window_ms=0.0,
+                quota_rate=1.0,
+                quota_burst=2,
+                clock=lambda: now[0],
+            )
+            async with gateway:
+                req = _requests(1)[0]
+                statuses = []
+                headers_seen = []
+                for _ in range(3):
+                    status, _payload, headers = await gateway.handle_solve(
+                        req.to_wire(), tenant="team-a"
+                    )
+                    statuses.append(status)
+                    headers_seen.append(headers)
+                # A different tenant has its own untouched bucket.
+                other_status, _, _ = await gateway.handle_solve(
+                    req.to_wire(), tenant="team-b"
+                )
+                counters = dict(gateway.counters)
+            return statuses, headers_seen, other_status, counters
+
+        statuses, headers_seen, other_status, counters = _run(scenario())
+        assert statuses == [200, 200, 429]
+        assert int(headers_seen[2]["Retry-After"]) >= 1
+        assert other_status == 200
+        assert counters["quota_denied"] == 1
+        # Quota rejections happen before routing: only admitted requests shard.
+        assert counters["sharded"] == 3
+        assert counters["admitted"] == 3
+
+    def test_saturated_shard_backpressures_with_429(self):
+        class StuckShard:
+            """A shard whose solves block until released."""
+
+            def __init__(self):
+                self.release = asyncio.Event()
+
+            async def start(self):
+                pass
+
+            async def call(self, op, **payload):
+                if op in ("solve", "batch"):
+                    await self.release.wait()
+                return {"ok": True, "result": None, "results": []}
+
+            async def stop(self):
+                self.release.set()
+
+        async def scenario():
+            stuck = StuckShard()
+            gateway = Gateway(
+                shards=1,
+                shard_factory=lambda index: stuck,
+                batch_window_ms=0.0,
+                max_inflight_per_shard=1,
+            )
+            async with gateway:
+                req = _requests(1)[0]
+                first = asyncio.ensure_future(gateway.handle_solve(req.to_wire()))
+                await asyncio.sleep(0.05)  # let it occupy the shard
+                status, payload, headers = await gateway.handle_solve(req.to_wire())
+                stuck.release.set()
+                await first
+                counters = dict(gateway.counters)
+            return status, payload, headers, counters
+
+        status, payload, headers, counters = _run(scenario())
+        assert status == 429
+        assert payload["error"] == "shard saturated"
+        assert headers["Retry-After"] == "1"
+        assert counters["rejected"] == 1
+
+    def test_bad_wire_document_is_400(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=1, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                return [
+                    await gateway.handle_solve({"format": "nope"}),
+                    await gateway.handle_solve({"format": "repro-wire/1", "kind": "solve_request"}),
+                ]
+
+        for status, payload, _ in _run(scenario()):
+            assert status == 400
+            assert "error" in payload
+
+    def test_shard_side_validation_error_maps_to_400(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=1, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                doc = _requests(1)[0].to_wire()
+                doc["k"] = 10**6  # passes SolveRequest, fails solver-side cap
+                return await gateway.handle_solve(doc)
+
+        status, payload, _ = _run(scenario())
+        assert status in (200, 400)  # large k may be legal; must not be a 502
+
+    def test_http_surface_end_to_end(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=2, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                host, port = "127.0.0.1", gateway.port
+                req = _requests(1)[0]
+                solve = await _http_json(host, port, "POST", "/v1/solve", req.to_wire())
+                tenant = await _http_json(
+                    host, port, "POST", "/v1/solve", req.to_wire(),
+                    headers={"X-Tenant": "team-a"},
+                )
+                stats = await _http_json(host, port, "GET", "/v1/stats")
+                health = await _http_json(host, port, "GET", "/v1/healthz")
+                missing = await _http_json(host, port, "GET", "/nope")
+                bad_json = await _http_json(host, port, "POST", "/v1/solve", None)
+                return req, solve, tenant, stats, health, missing, bad_json
+
+        req, solve, tenant, stats, health, missing, bad_json = _run(scenario())
+        status, payload = solve
+        assert status == 200
+        assert payload["format"] == "repro-wire/1"
+        assert payload["kind"] == "solve_response"
+        assert payload["shard"] == shard_for_key(req.canonical_key(), 2)
+        assert tenant[0] == 200
+        assert stats[0] == 200 and stats[1]["fleet"]["requests"] == 2
+        assert health == (200, {"status": "ok", "shards": 2})
+        assert missing[0] == 404
+        assert bad_json[0] == 400
+
+    def test_inline_shard_surfaces_service_errors(self):
+        async def scenario():
+            shard = InlineShard(workers=1)
+            try:
+                with pytest.raises(ShardError) as excinfo:
+                    await shard.call("solve", request={"format": "nope"})
+                assert excinfo.value.is_client_error
+                with pytest.raises(ShardError):
+                    await shard.call("frobnicate")
+            finally:
+                await shard.stop()
+
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# real process fleet
+# ---------------------------------------------------------------------------
+
+
+class TestGatewayProcessFleet:
+    def test_two_process_shards_end_to_end(self):
+        async def scenario():
+            gateway = Gateway(
+                shards=2, service_kwargs={"workers": 1}, batch_window_ms=2.0
+            )
+            async with gateway:
+                host, port = "127.0.0.1", gateway.port
+                reqs = _requests(4, seed=500)
+                answers = []
+                for _pass in range(2):
+                    for req in reqs:
+                        status, payload = await _http_json(
+                            host, port, "POST", "/v1/solve", req.to_wire()
+                        )
+                        answers.append((req, status, payload))
+                stats = await _http_json(host, port, "GET", "/v1/stats")
+            return answers, stats
+
+        answers, (stats_status, stats_payload) = _run(scenario())
+        for req, status, payload in answers:
+            assert status == 200
+            assert payload["shard"] == shard_for_key(req.canonical_key(), 2)
+            served = SolveResult.from_wire(payload["result"])
+            assert served.value == solve_k_bounded(req.jobs, k=req.k).value
+        assert stats_status == 200
+        assert stats_payload["fleet"]["hits"] >= 4  # whole second pass hit
+        assert stats_payload["fleet"]["misses"] == 4
+
+
+# ---------------------------------------------------------------------------
+# the bench harness (inline mode: fast, forkless)
+# ---------------------------------------------------------------------------
+
+
+class TestGatewayBench:
+    def test_quick_inline_bench_payload(self):
+        payload = run_gateway_bench(
+            shards=2,
+            rps=40.0,
+            duration_s=1.0,
+            corpus=6,
+            n=6,
+            seed=7,
+            inline=True,
+        )
+        assert payload["format"] == "repro-gateway-bench/1"
+        assert payload["disagreements"] == 0
+        assert payload["route_mismatches"] == 0
+        assert payload["errors"] == 0
+        assert payload["completed"] == payload["sent"]
+        assert payload["p99_ms"] >= payload["p50_ms"] > 0
+        assert len(payload["per_shard"]) == 2
+        assert all(s["hits"] > 0 for s in payload["per_shard"])
+        assert payload["gateway"]["admitted"] > 0
+        assert payload["gateway"]["quota_denied"] == 0

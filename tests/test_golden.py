@@ -18,7 +18,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import solve_k_bounded
+from repro.api import SolveRequest, solve_k_bounded
+from repro.gateway.routing import shard_for_key
+from repro.scheduling.job import JobSet
 from repro.instances import (
     anti_budget_edf,
     appendix_b_jobs,
@@ -30,6 +32,8 @@ from repro.instances import (
 
 GOLDEN_PATH = Path(__file__).parent / "goldens" / "solve_results.json"
 ACTUAL_PATH = GOLDEN_PATH.with_suffix(".actual.json")
+WIRE_GOLDEN_PATH = Path(__file__).parent / "goldens" / "wire_requests.json"
+WIRE_ACTUAL_PATH = WIRE_GOLDEN_PATH.with_suffix(".actual.json")
 
 # Fixture registry: name -> () -> (jobs, k, machines).  Names are stable —
 # R1..R7 are referenced from docs/TESTING.md and the CI artifact step.
@@ -105,6 +109,66 @@ def test_golden_solve_results(update_goldens):
             )
         )
     ACTUAL_PATH.unlink(missing_ok=True)
+
+
+def _wire_all() -> dict:
+    """Every fixture's ``repro-wire/1`` request doc plus its routing facts.
+
+    Pinning the full wire document makes any codec change (field names,
+    number encoding, envelope) a reviewed golden diff; pinning
+    ``request_key`` and the 2-/4-shard assignments pins cache identity and
+    gateway routing for the same instances.
+    """
+    out = {}
+    for name, make in FIXTURES.items():
+        jobs, k, machines = make()
+        request = SolveRequest(jobs=JobSet(jobs), k=k, machines=machines)
+        out[name] = {
+            "wire": request.to_wire(),
+            "request_key": request.key(),
+            "canonical_key": request.canonical_key(),
+            "shard_of_2": shard_for_key(request.canonical_key(), 2),
+            "shard_of_4": shard_for_key(request.canonical_key(), 4),
+        }
+    return out
+
+
+def test_golden_wire_requests(update_goldens):
+    actual = _wire_all()
+    if update_goldens:
+        WIRE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        WIRE_GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        WIRE_ACTUAL_PATH.unlink(missing_ok=True)
+        return
+
+    assert WIRE_GOLDEN_PATH.exists(), (
+        f"golden file missing: {WIRE_GOLDEN_PATH}; generate it with "
+        "pytest tests/test_golden.py --update-goldens"
+    )
+    golden = json.loads(WIRE_GOLDEN_PATH.read_text())
+    if golden != actual:
+        WIRE_ACTUAL_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        diffs = []
+        for name in sorted(set(golden) | set(actual)):
+            if golden.get(name) != actual.get(name):
+                diffs.append(name)
+        pytest.fail(
+            f"wire golden drift in {diffs}; wrote {WIRE_ACTUAL_PATH.name} "
+            "(an intentional schema change re-pins with --update-goldens)"
+        )
+    WIRE_ACTUAL_PATH.unlink(missing_ok=True)
+
+
+def test_golden_wire_requests_decode_back():
+    """The committed wire docs stay loadable: each decodes to a request
+    whose canonical key and shard match the pinned values."""
+    golden = json.loads(WIRE_GOLDEN_PATH.read_text())
+    assert set(golden) == set(FIXTURES)
+    for name, entry in golden.items():
+        request = SolveRequest.from_wire(entry["wire"])
+        assert request.key() == entry["request_key"], name
+        assert request.canonical_key() == entry["canonical_key"], name
+        assert shard_for_key(request.canonical_key(), 2) == entry["shard_of_2"], name
 
 
 def test_golden_file_is_sorted_and_complete():

@@ -604,3 +604,174 @@ def test_stress_concurrent_clients():
                 k = next(kk for jobs, kk in corpus if request_key(jobs, kk) == key)
                 verify_schedule(result.schedule, k=k).assert_ok()
     assert seen_keys == set(direct)
+
+
+# ---------------------------------------------------------------------------
+# the SolveRequest surface (PR 7 redesign)
+# ---------------------------------------------------------------------------
+
+
+class TestSolveRequestSurface:
+    """The redesigned single-value-object API, and its interplay with the
+    legacy spellings (whose behaviour the rest of this file still pins)."""
+
+    @pytest.fixture
+    def jobs(self):
+        return JobSet([Job(0, 0, 10, 3), Job(1, 1, 6, 2), Job(2, 2, 9, 4)])
+
+    def test_solve_request_form_is_silent_and_agrees_with_direct(self, jobs):
+        import warnings
+
+        from repro.api import SolveRequest
+
+        req = SolveRequest(jobs=jobs, k=1)
+        with SolverService(workers=1) as svc:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = svc.solve(req)
+            assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+        assert result.value == solve_k_bounded(jobs, 1).value
+
+    def test_request_and_legacy_spellings_share_one_cache_entry(self, jobs):
+        import warnings
+
+        from repro.api import SolveRequest
+
+        with SolverService(workers=1) as svc:
+            svc.solve(SolveRequest(jobs=jobs, k=1))
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                legacy = svc.solve(jobs, 1)
+            stats = svc.stats()
+        assert legacy.metrics.get("served.hit")
+        assert (stats["misses"], stats["hits"]) == (1, 1)
+
+    def test_extra_args_alongside_request_raise(self, jobs):
+        from repro.api import SolveRequest
+
+        req = SolveRequest(jobs=jobs, k=1)
+        with SolverService(workers=1) as svc:
+            with pytest.raises(TypeError):
+                svc.submit(req, 2)
+            with pytest.raises(TypeError):
+                svc.solve(req, deadline_ms=50.0)
+            with pytest.raises(TypeError):
+                svc.submit_batch([req], method="combined")
+
+    def test_mixed_batch_spellings_raise(self, jobs):
+        from repro.api import SolveRequest
+
+        with SolverService(workers=1) as svc:
+            with pytest.raises(TypeError):
+                svc.submit_batch([SolveRequest(jobs=jobs, k=1), (jobs, 2)])
+
+    def test_batch_of_requests_groups_by_parameters(self):
+        from repro.api import SolveRequest
+
+        corpus = [random_jobs(8, seed=900 + i) for i in range(6)]
+        reqs = [SolveRequest(jobs=jobs, k=1) for jobs in corpus[:3]]
+        reqs += [SolveRequest(jobs=jobs, k=2) for jobs in corpus[3:]]
+        with SolverService(workers=2) as svc:
+            results = svc.solve_batch(reqs, timeout=60)
+            stats = svc.stats()
+        assert len(results) == 6
+        for req, result in zip(reqs, results):
+            assert result.value == solve_k_bounded(req.jobs, req.k).value
+            assert result.metrics.get("served.batched")
+        # Two (k, machines, method) groups of three, both batched.
+        assert stats["batched"] == 6
+
+    def test_deadline_requests_in_batch_take_single_path(self, jobs):
+        from repro.api import SolveRequest
+
+        other = random_jobs(8, seed=950)
+        reqs = [
+            SolveRequest(jobs=jobs, k=1),
+            SolveRequest(jobs=other, k=1, deadline_ms=60_000.0),
+        ]
+        with SolverService(workers=2) as svc:
+            results = svc.solve_batch(reqs, timeout=60)
+            stats = svc.stats()
+        assert len(results) == 2
+        assert results[1].value == solve_k_bounded(other, 1).value
+        # The deadline request never joins a batch group.
+        assert stats["batched"] == 0
+        assert stats["misses"] == 2
+
+    def test_validation_happens_in_request_construction(self, jobs):
+        import warnings
+
+        from repro.api import SolveRequest
+
+        with pytest.raises(ValueError):
+            SolveRequest(jobs=jobs, k=-1)
+        with SolverService(workers=1) as svc:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                with pytest.raises(ValueError):
+                    svc.submit(jobs, -1)  # legacy path funnels into the same check
+                with pytest.raises(ValueError):
+                    svc.submit(jobs, 1, machines=0)
+
+    def test_service_signature_snapshot(self):
+        import inspect
+
+        def names(fn):
+            return list(inspect.signature(fn).parameters)
+
+        assert names(SolverService.submit) == [
+            "self", "request", "k", "machines", "method", "deadline_ms",
+        ]
+        assert names(SolverService.solve) == [
+            "self", "request", "k", "machines", "method", "deadline_ms", "timeout",
+        ]
+        assert names(SolverService.submit_batch) == [
+            "self", "requests", "machines", "method",
+        ]
+        assert names(SolverService.solve_batch) == [
+            "self", "requests", "machines", "method", "timeout",
+        ]
+        # Everything after the request object is optional (legacy-only).
+        for fn in (SolverService.submit, SolverService.solve):
+            params = inspect.signature(fn).parameters
+            assert all(
+                p.default is None for name, p in params.items()
+                if name not in ("self", "request", "requests")
+            )
+
+
+class TestServiceStats:
+    def test_stats_is_a_frozen_dataclass_with_dict_compat(self):
+        from dataclasses import FrozenInstanceError
+
+        from repro.serve import ServiceStats
+
+        jobs = JobSet([Job(0, 0, 10, 3)])
+        with SolverService(workers=1) as svc:
+            from repro.api import SolveRequest
+
+            svc.solve(SolveRequest(jobs=jobs, k=1))
+            stats = svc.stats()
+        assert isinstance(stats, ServiceStats)
+        assert stats.requests == 1 and stats["requests"] == 1
+        assert "hits" in stats and "nope" not in stats
+        with pytest.raises(KeyError):
+            stats["nope"]
+        with pytest.raises(FrozenInstanceError):
+            stats.requests = 5
+        as_dict = stats.as_dict()
+        assert as_dict["requests"] == 1
+        assert set(as_dict) == set(ServiceStats().as_dict())
+
+    def test_aggregate_sums_fieldwise(self):
+        from repro.serve import ServiceStats
+
+        a = ServiceStats(requests=3, hits=1, cache_size=2)
+        b = ServiceStats(requests=5, misses=4, cache_size=7, inflight=1)
+        total = ServiceStats.aggregate([a, b])
+        assert total.requests == 8
+        assert total.hits == 1
+        assert total.misses == 4
+        assert total.cache_size == 9
+        assert total.inflight == 1
+        assert ServiceStats.aggregate([]) == ServiceStats()
