@@ -16,7 +16,10 @@ pytest-benchmark and asserts the headline claims:
 * the disabled observability layer costs < 5% on the TM hot path
   (``repro.obs`` tracer contract);
 * a solver-service cache hit answers ≥ 10× faster than the cold solve it
-  memoised (``repro.serve`` acceptance gate).
+  memoised (``repro.serve`` acceptance gate);
+* the bitset ``OPT_∞`` core solves an overloaded integral n = 20 instance
+  cold (caches cleared) in under 1 s — the frontier the legacy
+  branch-and-bound could not reach at all.
 """
 
 import json
@@ -25,6 +28,7 @@ import os
 import pytest
 
 from repro.analysis.perf import (
+    bench_opt_exact,
     bench_serve_cache,
     bench_sweep_engine,
     bench_tm_batched,
@@ -108,6 +112,23 @@ def test_tracer_disabled_overhead_under_5pct():
     # 1/1.05 is the 5% contract with min-of-reps noise robustness.
     assert disabled[0].speedup_vs_reference >= 1 / 1.05, (
         f"disabled tracer exceeds the 5% overhead gate: {disabled[0]}"
+    )
+
+
+def test_opt_exact_cold_n20_gate():
+    """Bitset ``OPT_∞`` cold solve at n = 20 stays under 1 s.
+
+    Cold means genuinely cold: ``bench_opt_exact`` clears the solve and
+    feasibility memo caches before every rep, so the gate times the full
+    bitset branch-and-bound, not a dictionary lookup.  One second is ~50×
+    the typical median on an unloaded host — the gate exists to catch a
+    pruning or bound regression that reopens the exponential blowup, not
+    to race the runner."""
+    records = bench_opt_exact(sizes=(20,), reps=3)
+    cold = [r for r in records if r.op == "opt_infty_exact[bitset cold]"]
+    assert cold, f"cold record missing: {records}"
+    assert cold[0].median_ms < 1000.0, (
+        f"n=20 cold exact solve above the 1s gate: {cold[0]}"
     )
 
 

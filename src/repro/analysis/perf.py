@@ -12,7 +12,9 @@ trajectory so future performance work has a baseline to beat:
   (:func:`repro.analysis.sweep.run_sweep` over the persistent
   shared-memory pool), with an untimed pool warmup per worker count;
 * the exact ``OPT_∞`` branch-and-bound — cold vs warm
-  :func:`repro.scheduling.edf.edf_feasible_cached` cache;
+  :func:`repro.scheduling.edf.edf_feasible_cached` cache, plus the bitset
+  core (:func:`repro.scheduling.bitset_bb.bitset_solve`) cold vs memoized
+  at n ∈ {16, 20, 24, 28};
 * forest traversals — first (computing) vs cached ``postorder()``;
 * the observability layer — TM with the tracer disabled vs the raw kernel
   (the < 5% overhead contract) and under a live tracer for reference.
@@ -230,6 +232,43 @@ def bench_edf_cache(n: int = 16, reps: int = 3, seed: int = 3) -> List[BenchReco
     ]
 
 
+def bench_opt_exact(
+    sizes: Sequence[int] = (16, 20, 24, 28), reps: int = 3, seed: int = 2018
+) -> List[BenchRecord]:
+    """The bitset ``OPT_∞`` branch-and-bound: cold vs memoized solves.
+
+    One seeded integral overloaded instance per size (the
+    ``large_jobsets`` regime: mixed tight/loose laxity, packed releases).
+    Cold timings drop the solver's memo and the EDF feasibility cache
+    first (:func:`repro.scheduling.exact.clear_exact_caches`), so they
+    measure the search itself; warm timings replay the same instance
+    through the ``_solve_by_key`` memo.  The n = 20 cold median is the
+    number the CI gate in ``benchmarks/bench_perf.py`` asserts stays
+    under a second on shared runners.
+    """
+    from repro.instances.random_jobs import random_integral_jobs
+    from repro.scheduling.exact import clear_exact_caches, opt_infty_exact
+
+    records: List[BenchRecord] = []
+    for n in sizes:
+        jobs = random_integral_jobs(n, seed=seed + n)
+
+        def cold() -> None:
+            clear_exact_caches()
+            opt_infty_exact(jobs)
+
+        cold_times = _times_ms(cold, reps)
+        clear_exact_caches()
+        opt_infty_exact(jobs)  # populate the memo once
+        warm_times = _times_ms(lambda: opt_infty_exact(jobs), reps)
+        records.append(_record("opt_infty_exact[bitset cold]", n, None, cold_times))
+        records.append(
+            _record("opt_infty_exact[bitset warm]", n, None, warm_times,
+                    speedup=_median(cold_times) / _median(warm_times))
+        )
+    return records
+
+
 def bench_forest_traversals(n: int = 100_000, reps: int = 5, seed: int = 1) -> List[BenchRecord]:
     """First (computing) vs cached ``Forest.postorder()``."""
     from repro.instances.random_trees import random_forest
@@ -437,6 +476,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_tm_batched(reps=3)
             + bench_sweep_engine(workers_values=(1, 4), n=120, repeats=2, reps=2)
             + bench_edf_cache(n=12, reps=2)
+            + bench_opt_exact(sizes=(16, 20), reps=2)
             + bench_forest_traversals(n=20_000, reps=2)
             + bench_tracer_overhead(n=20_000, reps=5)
             + bench_serve_cache(corpus=6, requests=30, reps=2)
@@ -447,6 +487,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_tm_batched()
             + bench_sweep_engine()
             + bench_edf_cache()
+            + bench_opt_exact()
             + bench_forest_traversals()
             + bench_tracer_overhead()
             + bench_serve_cache()

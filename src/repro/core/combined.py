@@ -30,6 +30,12 @@ from repro.scheduling.exact import opt_infty_exact
 from repro.scheduling.job import JobSet
 from repro.scheduling.schedule import Schedule
 
+#: Default ceiling for running the exact OPT_∞ solver inside the pipeline.
+#: The bitset core made n = 24 comfortably sub-100ms, so the default path
+#: now gets the true optimum on mid-size overloaded instances it
+#: previously handed to greedy admission.
+_EXACT_OPT_MAX_JOBS = 24
+
 
 class CombinedResult(NamedTuple):
     """Both branch outputs of Algorithm 3 plus the chosen winner."""
@@ -99,8 +105,9 @@ def schedule_k_bounded(
     ∞-preemptive schedule to reduce from:
 
     * if the whole set is EDF-feasible, EDF of everything (optimal);
-    * else exact branch-and-bound when ``n`` is small (≤ 20 by default, or
-      forced via ``exact_opt=True``);
+    * else the exact bitset branch-and-bound when ``n`` is small
+      (≤ ``_EXACT_OPT_MAX_JOBS`` = 24 by default, or forced via
+      ``exact_opt=True``);
     * else greedy EDF admission in density order.
 
     and then runs Algorithm 3.  For ``k = 0`` use
@@ -115,7 +122,7 @@ def schedule_k_bounded(
         return Schedule(jobs, {})
     if edf_feasible(jobs):
         opt = edf_schedule(jobs).schedule
-    elif exact_opt or (exact_opt is None and jobs.n <= 20):
+    elif exact_opt or (exact_opt is None and jobs.n <= _EXACT_OPT_MAX_JOBS):
         opt = opt_infty_exact(jobs)
     else:
         # Greedy EDF admission keeps the default path fast; callers wanting
@@ -137,7 +144,7 @@ def _opt_infty_input(jobs: JobSet, k: int, exact_opt: Optional[bool]) -> Schedul
     """The ∞-preemptive input schedule :func:`schedule_k_bounded` reduces from."""
     if edf_feasible(jobs):
         return edf_schedule(jobs).schedule
-    if exact_opt or (exact_opt is None and jobs.n <= 20):
+    if exact_opt or (exact_opt is None and jobs.n <= _EXACT_OPT_MAX_JOBS):
         return opt_infty_exact(jobs)
     return edf_accept_max_subset(jobs)
 

@@ -28,6 +28,7 @@ from repro.instances.random_trees import (
 )
 from repro.instances.random_jobs import (
     random_jobs,
+    random_integral_jobs,
     random_lax_jobs,
     random_strict_jobs,
     laminar_job_chain,
@@ -41,6 +42,7 @@ from repro.instances.adversarial import (
     dhall_instance,
     anti_greedy_k0,
     anti_budget_edf,
+    anti_density_greedy,
 )
 from repro.instances.periodic import (
     PeriodicTask,
@@ -65,6 +67,7 @@ __all__ = [
     "caterpillar",
     "random_values",
     "random_jobs",
+    "random_integral_jobs",
     "random_lax_jobs",
     "random_strict_jobs",
     "laminar_job_chain",
@@ -74,6 +77,7 @@ __all__ = [
     "dhall_instance",
     "anti_greedy_k0",
     "anti_budget_edf",
+    "anti_density_greedy",
     "PeriodicTask",
     "uunifast",
     "random_task_set",

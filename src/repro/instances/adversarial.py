@@ -96,3 +96,32 @@ def anti_budget_edf(k: int, *, tail_value: float = 10.0) -> JobSet:
         jobs.append(Job(nid, r, r + 5, 5, value=tail_value))
         nid += 1
     return JobSet(jobs)
+
+
+def anti_density_greedy(copies: int) -> JobSet:
+    """Defeat density-order greedy admission — adversary for the exact core.
+
+    Each motif is three jobs on a 4-unit window: one "bait" job A
+    (length 3, value 7, density 7/3 ≈ 2.33) and two "payoff" jobs B, C
+    (length 2, value 4 each, density 2) splitting the same window.  A
+    together with either payoff job overloads the window (5 units of work
+    in 4), while B + C exactly fill it.  Density-order greedy admits A
+    first and then can accept neither B nor C: value 7.  The optimum drops
+    the bait and takes B + C: value 8.
+
+    ``copies`` motifs are laid out on disjoint windows (10 units apart), so
+    greedy loses value ``copies`` against ``OPT_∞ = 8 · copies`` — the
+    canonical family where the exact solver is *strictly* better than
+    greedy EDF admission, used by the R12 golden and the solver tests.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    jobs: List[Job] = []
+    nid = 0
+    for c in range(copies):
+        base = 10 * c
+        jobs.append(Job(nid, base, base + 4, 3, value=7))      # bait
+        jobs.append(Job(nid + 1, base, base + 2, 2, value=4))  # payoff 1
+        jobs.append(Job(nid + 2, base + 2, base + 4, 2, value=4))  # payoff 2
+        nid += 3
+    return JobSet(jobs)

@@ -65,6 +65,45 @@ def random_jobs(
     return JobSet(jobs)
 
 
+def random_integral_jobs(
+    n: int,
+    *,
+    max_length: int = 8,
+    tight_fraction: float = 0.5,
+    release_span: Optional[int] = None,
+    max_value: int = 30,
+    seed=None,
+) -> JobSet:
+    """Deterministic *integral* overloaded instances for the exact frontier.
+
+    Unlike :func:`random_jobs` (float coordinates), every release, deadline,
+    length and value is an integer, so the exact solvers, the differential
+    oracles and the golden files compare bit-for-bit.  The distribution
+    mirrors ``tests.strategies.large_jobsets``: a ``tight_fraction`` of the
+    jobs get slack ≤ 2 (must run almost immediately), the rest get slack
+    3–20, and releases pack into ``[0, release_span]`` (default
+    ``1.2 · n``) so the instance is overloaded and the branch-and-bound
+    actually branches.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not (0 <= tight_fraction <= 1):
+        raise ValueError(f"tight_fraction must be in [0, 1], got {tight_fraction}")
+    rng = make_rng(seed)
+    span = release_span if release_span is not None else (6 * n) // 5
+    jobs: List[Job] = []
+    for i in range(n):
+        p = int(rng.integers(1, max_length + 1))
+        if rng.random() < tight_fraction:
+            slack = int(rng.integers(0, 3))
+        else:
+            slack = int(rng.integers(3, 21))
+        r = int(rng.integers(0, span + 1))
+        v = int(rng.integers(1, max_value + 1))
+        jobs.append(Job(i, r, r + p + slack, p, v))
+    return JobSet(jobs)
+
+
 def random_lax_jobs(
     n: int,
     k: int,

@@ -5,15 +5,21 @@ The price of bounded preemption compares an algorithm's value against
 the optimal feasible subset is NP-hard (Karp; the paper's Section 1.4), so
 exactness costs exponential time — affordable here because
 
-* the measured-price experiments use modest ``n`` (≤ ~24 for exact runs,
+* the measured-price experiments use modest ``n`` (≤ ~30 for exact runs,
   greedy EDF admission beyond), and
 * on the lower-bound families ``OPT_∞`` is known in closed form and the
   solvers are used only to *verify* those closed forms.
 
-Two exact engines live here:
+Three exact engines live here:
 
-* :func:`opt_infty_exact` — branch-and-bound over subsets with the EDF
-  feasibility oracle and a value-sum bound;
+* :func:`opt_infty_exact` — the bitset branch-and-bound of
+  :mod:`repro.scheduling.bitset_bb`: EDD-ordered bitmask search with an
+  incremental capacity-vector feasibility check, dominance pruning and
+  suffix/fractional-relaxation bounds (n ≈ 30 in well under a second);
+* :func:`opt_infty_reference_value` — the retained legacy subset search
+  (density order, one EDF simulation per include node).  Much slower
+  (n ≈ 16 wall), kept as the independent differential oracle the
+  ``opt-bitset-vs-legacy`` fuzz check compares against;
 * :func:`opt_k_exact_small` — exhaustive ``OPT_k`` for *tiny, integral*
   instances by depth-first search over unit time slots, used by the test
   suite to sandwich the pipeline's output (``ALG_k <= OPT_k <= OPT_∞``).
@@ -25,6 +31,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tracer import current_tracer
+from repro.scheduling.bitset_bb import bitset_solve
 from repro.scheduling.edf import edf_feasible, edf_feasible_cached, edf_schedule
 from repro.scheduling.job import Job, JobSet
 from repro.scheduling.schedule import Schedule
@@ -34,11 +41,14 @@ from repro.utils.numeric import is_exact
 
 
 def _branch_and_bound(jobs: JobSet):
-    """The include/exclude search over density order: (value, accepted ids).
+    """Legacy reference search: (value, accepted ids).
 
-    Shared core of :func:`opt_infty_exact` and :func:`opt_infty_value` — a
-    single implementation (and a single cache entry, see
-    :func:`_solve_by_key`) so the two can never disagree.
+    The pre-bitset core — include/exclude over density order with a full
+    (memoized) EDF simulation per include node and only the suffix-value
+    bound.  No longer on the solve path: it survives as the independent
+    implementation behind :func:`opt_infty_reference_value`, which the
+    ``opt-bitset-vs-legacy`` differential oracle checks the bitset core
+    against on every fuzz case.
     """
     tracer = current_tracer()
     order = jobs.sorted_by_density()
@@ -82,10 +92,61 @@ def _solve_key(jobs: JobSet):
     return tuple(sorted((j.release, j.deadline, j.length, j.value, j.id) for j in jobs))
 
 
+def _jobs_from_key(key) -> JobSet:
+    return JobSet(Job(i, r, d, p, v) for (r, d, p, v, i) in key)
+
+
+@lru_cache(maxsize=512)
+def _reference_by_key(key):
+    return _branch_and_bound(_jobs_from_key(key))
+
+
+def opt_infty_reference_value(jobs: JobSet, *, max_jobs: int = 18):
+    """``OPT_∞`` via the legacy per-node-EDF search — the differential oracle.
+
+    Kept deliberately independent of the bitset core (different search
+    order, different feasibility machinery, no dominance or relaxation
+    bounds) so agreement between the two is meaningful evidence.  The
+    ``max_jobs`` guard reflects this engine's actual wall: one EDF
+    simulation per include node.
+    """
+    if jobs.n > max_jobs:
+        raise ValueError(
+            f"opt_infty_reference_value limited to {max_jobs} jobs (got {jobs.n}); "
+            "the legacy reference engine exists for differential checks, not scale"
+        )
+    if jobs.n == 0:
+        return 0
+    return _reference_by_key(_solve_key(jobs))[0]
+
+
 @lru_cache(maxsize=2048)
 def _solve_by_key(key):
-    jobs = JobSet(Job(i, r, d, p, v) for (r, d, p, v, i) in key)
-    return _branch_and_bound(jobs)
+    """Cached bitset solve: (value, accepted ids, engine name).
+
+    Shared by :func:`opt_infty_exact` and :func:`opt_infty_value` — a single
+    cache entry per frozen instance, so the two can never disagree.  For
+    float instances the winning subset is certified with the EDF oracle
+    before being cached: the capacity-vector check and the EDF simulation
+    use the same tolerance but accumulate round-off differently, and on the
+    (rare) borderline disagreement the legacy search — whose feasibility
+    oracle *is* EDF — provides the answer instead.
+    """
+    jobs = _jobs_from_key(key)
+    result = bitset_solve(jobs)
+    tracer = current_tracer()
+    if tracer is not None:
+        stats = result.stats
+        tracer.count("exact.nodes", stats["nodes"])
+        tracer.count("exact.pruned.bound", stats["pruned_bound"])
+        tracer.count("exact.pruned.dominated", stats["pruned_dominated"])
+        tracer.count("exact.pruned.infeasible", stats["infeasible_include"])
+        tracer.count(f"exact.dispatch.{result.engine}")
+    if result.ids and not is_exact(*(x for j in jobs for x in (j.release, j.deadline, j.length))):
+        if not edf_feasible(jobs.subset(result.ids)):  # pragma: no cover - tolerance edge
+            value, ids = _branch_and_bound(jobs)
+            return value, ids, "legacy-fallback"
+    return result.value, result.ids, result.engine
 
 
 def _opt_infty_solve(jobs: JobSet, max_jobs: int):
@@ -104,34 +165,45 @@ def _opt_infty_solve(jobs: JobSet, max_jobs: int):
             tracer.count("exact.fast_path")
         return jobs.total_value, tuple(sorted(jobs.ids))
     if tracer is None:
-        return _solve_by_key(_solve_key(jobs))
-    before = edf_feasible_cached.cache_info()
+        value, ids, _engine = _solve_by_key(_solve_key(jobs))
+        return value, ids
     bb_before = _solve_by_key.cache_info()
     with tracer.span("exact.opt_infty", n=jobs.n) as s:
-        value, ids = _solve_by_key(_solve_key(jobs))
-        after = edf_feasible_cached.cache_info()
+        value, ids, engine = _solve_by_key(_solve_key(jobs))
         bb_after = _solve_by_key.cache_info()
         s.attrs["accepted"] = len(ids)
         s.attrs["solve_cached"] = bb_after.hits > bb_before.hits
-        tracer.count("exact.edf_cache_hits", after.hits - before.hits)
-        tracer.count("exact.edf_cache_misses", after.misses - before.misses)
+        s.attrs["engine"] = engine
     return value, ids
 
 
-def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
+def clear_exact_caches() -> None:
+    """Drop the memoized solves (and the EDF feasibility cache).
+
+    Benchmarks use this to obtain honest cold timings; the caches rebuild
+    transparently on the next solve.
+    """
+    _solve_by_key.cache_clear()
+    _reference_by_key.cache_clear()
+    edf_feasible_cached.cache_clear()
+
+
+def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 30) -> Schedule:
     """Exact maximum-value ∞-preemptively feasible subset, as a schedule.
 
-    Branch-and-bound over include/exclude decisions in density order.  The
-    feasibility oracle is exact preemptive EDF; the upper bound at each node
-    is current value + all remaining values (simple, but with density
-    ordering and early feasibility failure it prunes well at this scale).
-    The subset selection is memoized on the frozen instance, and
-    :func:`opt_infty_value` reads the same cache — the returned schedule and
-    the reported value always agree.
+    The bitset branch-and-bound of :mod:`repro.scheduling.bitset_bb`:
+    include/exclude decisions in EDD order over an integer bitmask, an
+    incremental capacity-vector feasibility check (no per-node EDF
+    simulation), dominance pruning, and suffix plus fractional-relaxation
+    upper bounds seeded by a greedy incumbent.  The subset selection is
+    memoized on the frozen instance, and :func:`opt_infty_value` reads the
+    same cache — the returned schedule and the reported value always agree.
 
-    ``max_jobs`` is a guard rail: beyond ~26 jobs the worst case is too slow
-    and callers should use :func:`repro.scheduling.edf.edf_accept_max_subset`
-    or an analytic optimum instead.
+    ``max_jobs`` is a guard rail: the default 30 is where random overloaded
+    instances still solve in well under a second (see ``bench_opt_exact``);
+    beyond it callers should use
+    :func:`repro.scheduling.edf.edf_accept_max_subset` or an analytic
+    optimum instead.
     """
     value, ids = _opt_infty_solve(jobs, max_jobs)
     if not ids:
@@ -141,7 +213,7 @@ def opt_infty_exact(jobs: JobSet, *, max_jobs: int = 26) -> Schedule:
     return Schedule(jobs, {i: list(result.schedule[i]) for i in result.schedule.scheduled_ids})
 
 
-def opt_infty_value(jobs: JobSet, *, max_jobs: int = 26):
+def opt_infty_value(jobs: JobSet, *, max_jobs: int = 30):
     """Value of the exact ∞-preemptive optimum.
 
     Delegates to the same cached branch-and-bound core as
@@ -153,15 +225,16 @@ def opt_infty_value(jobs: JobSet, *, max_jobs: int = 26):
 
 
 def opt_infty_auto(
-    jobs: JobSet, *, dp_max_jobs: int = 28, dp_max_states: int = 4_000
+    jobs: JobSet, *, bb_max_jobs: int = 30, dp_max_jobs: int = 36, dp_max_states: int = 4_000
 ) -> Schedule:
     """Best-effort strongest OPT_∞ schedule, choosing the solver by instance.
 
     Order of preference: EDF of everything (exact when the whole set fits),
-    the Lawler-style DP for moderate ``n`` (exact; aborts itself if its
-    Pareto front explodes), branch-and-bound for small ``n``, greedy EDF
-    admission as the final fallback.  Every path returns a feasible
-    schedule homed on the full instance.
+    the bitset branch-and-bound up to ``bb_max_jobs`` (exact — the primary
+    engine since it took over from the legacy subset search), the
+    Lawler-style DP for moderately larger ``n`` (exact; aborts itself if
+    its Pareto front explodes), greedy EDF admission as the final fallback.
+    Every path returns a feasible schedule homed on the full instance.
     """
     from repro.scheduling.lawler_dp import lawler_optimal_schedule
 
@@ -169,13 +242,13 @@ def opt_infty_auto(
         return Schedule(jobs, {})
     if edf_feasible(jobs):
         return edf_schedule(jobs).schedule
+    if jobs.n <= bb_max_jobs:
+        return opt_infty_exact(jobs, max_jobs=bb_max_jobs)
     if jobs.n <= dp_max_jobs:
         try:
             return lawler_optimal_schedule(jobs, max_states=dp_max_states)
         except RuntimeError:
             pass
-    if jobs.n <= 20:
-        return opt_infty_exact(jobs)
     from repro.scheduling.edf import edf_accept_max_subset
 
     return edf_accept_max_subset(jobs)

@@ -22,6 +22,7 @@ from repro.scheduling.schedule import Segment
 __all__ = [
     "jobsets",
     "integral_jobsets",
+    "large_jobsets",
     "lax_jobsets",
     "forests",
     "int_forests",
@@ -93,6 +94,51 @@ def integral_jobsets(draw, max_jobs: int = 7, horizon: int = 24, max_value: int 
         slack = draw(st.integers(min_value=0, max_value=horizon - r - p))
         value = draw(st.integers(min_value=1, max_value=max_value))
         jobs.append(Job(i, r, r + p + slack, p, value))
+    return JobSet(jobs)
+
+
+@st.composite
+def large_jobsets(
+    draw,
+    min_jobs: int = 17,
+    max_jobs: int = 30,
+    max_length: int = 8,
+    max_value: int = 30,
+):
+    """Frontier-size integral job sets for the bitset ``OPT_∞`` core.
+
+    ``n`` ranges over 17–30 — past the legacy branch-and-bound's wall and
+    up to the new ``max_jobs`` guard.  The distribution is deliberately
+    hostile to the solver's pruning machinery:
+
+    * roughly half the jobs are *tight* (slack ≤ 2) and half *loose*
+      (slack 3–20), so instances mix must-run-now contention with
+      schedulable filler;
+    * releases are packed into ``[0, 1.2·n]``, keeping the instance
+      overloaded (the branch-and-bound actually branches rather than
+      taking the all-feasible fast path);
+    * deadlines frequently duplicate: each job may snap its deadline onto
+      an earlier job's (when legal), exercising the EDD tie-breaks and the
+      capacity-vector bookkeeping for shared deadline classes.
+    """
+    n = draw(st.integers(min_value=min_jobs, max_value=max_jobs))
+    jobs = []
+    deadlines: list = []
+    for i in range(n):
+        p = draw(st.integers(min_value=1, max_value=max_length))
+        tight = draw(st.booleans())
+        slack = draw(st.integers(min_value=0, max_value=2)) if tight else draw(
+            st.integers(min_value=3, max_value=20)
+        )
+        r = draw(st.integers(min_value=0, max_value=(6 * n) // 5))
+        v = draw(st.integers(min_value=1, max_value=max_value))
+        d = r + p + slack
+        if deadlines and draw(st.booleans()):
+            snapped = draw(st.sampled_from(deadlines))
+            if snapped >= r + p:  # only when it keeps the window legal
+                d = snapped
+        deadlines.append(d)
+        jobs.append(Job(i, r, d, p, v))
     return JobSet(jobs)
 
 

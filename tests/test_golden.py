@@ -23,10 +23,12 @@ from repro.gateway.routing import shard_for_key
 from repro.scheduling.job import JobSet
 from repro.instances import (
     anti_budget_edf,
+    anti_density_greedy,
     appendix_b_jobs,
     dhall_instance,
     geometric_chain,
     laminar_job_chain,
+    random_integral_jobs,
     random_jobs,
 )
 
@@ -34,6 +36,8 @@ GOLDEN_PATH = Path(__file__).parent / "goldens" / "solve_results.json"
 ACTUAL_PATH = GOLDEN_PATH.with_suffix(".actual.json")
 WIRE_GOLDEN_PATH = Path(__file__).parent / "goldens" / "wire_requests.json"
 WIRE_ACTUAL_PATH = WIRE_GOLDEN_PATH.with_suffix(".actual.json")
+OPT_GOLDEN_PATH = Path(__file__).parent / "goldens" / "opt_exact.json"
+OPT_ACTUAL_PATH = OPT_GOLDEN_PATH.with_suffix(".actual.json")
 
 # Fixture registry: name -> () -> (jobs, k, machines).  Names are stable —
 # R1..R7 are referenced from docs/TESTING.md and the CI artifact step.
@@ -109,6 +113,98 @@ def test_golden_solve_results(update_goldens):
             )
         )
     ACTUAL_PATH.unlink(missing_ok=True)
+
+
+# Exact-frontier fixtures: name -> () -> jobs.  R8–R11 are the seeded
+# integral families at the sizes the bitset core opened up (the legacy
+# search walled out near n = 16); R12 is the adversarial family where
+# density-greedy admission is *strictly* suboptimal, so the pinned gap
+# proves the exact solver is doing more than greedy ever could.
+OPT_FIXTURES = {
+    "R8-integral-n18": lambda: random_integral_jobs(18, seed=88),
+    "R9-integral-n22": lambda: random_integral_jobs(22, seed=89),
+    "R10-integral-n26": lambda: random_integral_jobs(26, seed=90),
+    "R11-integral-n30": lambda: random_integral_jobs(30, seed=91),
+    "R12-anti-density-greedy": lambda: anti_density_greedy(5),
+}
+
+
+def _opt_exact_all() -> dict:
+    from repro.scheduling.edf import edf_accept_max_subset
+    from repro.scheduling.exact import opt_infty_exact, opt_infty_value
+
+    out = {}
+    for name, make in OPT_FIXTURES.items():
+        jobs = make()
+        sched = opt_infty_exact(jobs)
+        out[name] = {
+            "n": jobs.n,
+            "opt_value": opt_infty_value(jobs),
+            "accepted": len(sched),
+            "greedy_value": edf_accept_max_subset(jobs).value,
+        }
+    return out
+
+
+def test_golden_opt_exact_values(update_goldens):
+    """Pinned exact OPT_∞ values at the n ∈ {18, 22, 26, 30} frontier.
+
+    Any change to the bitset search, its bounds, the dominance pruning or
+    the kernel dispatch that moves an *optimal value* fails here — node
+    counts and engine choice are deliberately not pinned (they are
+    observability, free to improve)."""
+    actual = _opt_exact_all()
+    if update_goldens:
+        OPT_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        OPT_GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        OPT_ACTUAL_PATH.unlink(missing_ok=True)
+        return
+
+    assert OPT_GOLDEN_PATH.exists(), (
+        f"golden file missing: {OPT_GOLDEN_PATH}; generate it with "
+        "pytest tests/test_golden.py --update-goldens"
+    )
+    golden = json.loads(OPT_GOLDEN_PATH.read_text())
+    diffs = []
+    for name in sorted(set(golden) | set(actual)):
+        if name not in golden:
+            diffs.append(f"{name}: fixture has no golden entry")
+            continue
+        if name not in actual:
+            diffs.append(f"{name}: golden entry has no fixture")
+            continue
+        for field in sorted(set(golden[name]) | set(actual[name])):
+            want = golden[name].get(field)
+            got = actual[name].get(field)
+            if want != got:
+                diffs.append(f"{name}.{field}: golden {want!r} != actual {got!r}")
+    if diffs:
+        OPT_ACTUAL_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.fail(
+            "opt-exact golden regression ({} mismatch(es); wrote {}):\n  {}".format(
+                len(diffs), OPT_ACTUAL_PATH.name, "\n  ".join(diffs)
+            )
+        )
+    OPT_ACTUAL_PATH.unlink(missing_ok=True)
+
+
+def test_golden_opt_exact_file_is_sorted_and_complete():
+    golden = json.loads(OPT_GOLDEN_PATH.read_text())
+    assert list(golden) == sorted(golden)
+    assert set(golden) == set(OPT_FIXTURES)
+    for name, entry in golden.items():
+        assert set(entry) == {"n", "opt_value", "accepted", "greedy_value"}, name
+        assert entry["opt_value"] >= entry["greedy_value"] > 0, name
+        assert 0 < entry["accepted"] <= entry["n"], name
+
+
+def test_golden_opt_exact_has_greedy_suboptimal_witness():
+    """At least one pinned fixture separates exact from greedy strictly."""
+    golden = json.loads(OPT_GOLDEN_PATH.read_text())
+    assert any(e["opt_value"] > e["greedy_value"] for e in golden.values()), (
+        "no pinned instance shows the exact solver strictly beating greedy "
+        "EDF admission — the adversarial fixture lost its teeth"
+    )
 
 
 def _wire_all() -> dict:

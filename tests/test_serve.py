@@ -19,7 +19,7 @@ from random import Random
 import pytest
 
 from repro.api import request_key, solve_k_bounded
-from repro.instances import random_jobs
+from repro.instances import random_integral_jobs, random_jobs
 from repro.scheduling.job import Job, JobSet
 from repro.scheduling.verify import verify_schedule
 from repro.serve import LruCache, ServiceClosed, SolverService
@@ -168,6 +168,35 @@ class TestServiceSemantics:
             stats = svc.stats()
         assert again.metrics["served.hit"] == 1.0
         assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_frontier_size_reduction_request_is_cacheable(self):
+        """An n = 28 ``method="reduction"`` request is served cold by the
+        bitset ``OPT_∞`` core and then answered from cache, identically.
+
+        Before the bitset rewrite n = 28 sat beyond every exact guard, so
+        requests this size silently reduced from a *greedy* ∞-preemptive
+        schedule; now the cold solve's metrics carry the exact solver's
+        node counter, proving the branch-and-bound ran inside the worker.
+        """
+        from repro.api import SolveRequest
+        from repro.scheduling.exact import clear_exact_caches
+
+        clear_exact_caches()
+        jobs = random_integral_jobs(28, seed=828)
+        req = SolveRequest(jobs=jobs, k=2, method="reduction")
+        with SolverService(workers=1) as svc:
+            cold = svc.solve(req)
+            hit = svc.solve(req)
+            stats = svc.stats()
+        assert cold.method == hit.method == "reduction"
+        assert cold.value == hit.value > 0
+        assert hit.metrics["served.hit"] == 1.0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert cold.metrics.get("exact.nodes", 0) > 0, (
+            "the exact bitset core never ran — the n = 28 request fell "
+            "back to greedy admission"
+        )
+        verify_schedule(cold.schedule).assert_ok()
 
     def test_coalescing_shares_one_inflight_solve(self):
         """Duplicates submitted while the leader is gated all share its future
