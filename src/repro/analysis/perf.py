@@ -370,6 +370,62 @@ def bench_serve_cache(
     ]
 
 
+def bench_store_prewarm(
+    corpus: int = 10, n: int = 12, requests: int = 60, reps: int = 3, seed: int = 7
+) -> List[BenchRecord]:
+    """Restart latency with a durable store: warm cache vs prewarmed cold start.
+
+    One long-lived service populates a :class:`repro.store.ResultStore`
+    and serves the warm-cache phase (pure memory-LRU hits).  Each rep of
+    the prewarmed phase then builds a *fresh* service on the same store —
+    the restart — whose LRU was prewarmed from disk, and replays the same
+    requests.  The prewarmed record's ``speedup_vs_reference`` is
+    warm-median / prewarmed-median; the ROADMAP acceptance gate (enforced
+    by ``repro bench --max-prewarm-ratio`` and
+    ``benchmarks/bench_perf.py``) is its inverse: prewarmed cold-start p50
+    must stay within 2x of warm-cache p50, i.e. prewarming must make a
+    restart indistinguishable from a warm process up to small-constant
+    overhead.
+    """
+    import os
+    import tempfile
+
+    from repro.api import SolveRequest
+    from repro.instances.random_jobs import random_jobs
+    from repro.serve import SolverService
+
+    instances = [
+        SolveRequest(jobs=random_jobs(n, seed=seed + i), k=1 + i % 2)
+        for i in range(corpus)
+    ]
+    rounds = max(1, requests // corpus)
+    warm_times: List[float] = []
+    prewarmed_times: List[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        store_path = os.path.join(root, "store")
+        with SolverService(workers=1, cache_size=4 * corpus, store_path=store_path) as svc:
+            for req in instances:  # populate the store and the LRU
+                svc.solve(req)
+            for _ in range(reps):
+                for _ in range(rounds):
+                    for req in instances:
+                        warm_times.extend(_times_ms(lambda: svc.solve(req), 1))
+        for _ in range(reps):
+            with SolverService(
+                workers=1, cache_size=4 * corpus, store_path=store_path
+            ) as restarted:
+                for _ in range(rounds):
+                    for req in instances:
+                        prewarmed_times.extend(
+                            _times_ms(lambda: restarted.solve(req), 1)
+                        )
+    return [
+        _record("serve.store[warm-cache]", corpus, None, warm_times),
+        _record("serve.store[prewarmed-cold-start]", corpus, None, prewarmed_times,
+                speedup=_median(warm_times) / _median(prewarmed_times)),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -480,6 +536,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_forest_traversals(n=20_000, reps=2)
             + bench_tracer_overhead(n=20_000, reps=5)
             + bench_serve_cache(corpus=6, requests=30, reps=2)
+            + bench_store_prewarm(corpus=6, requests=24, reps=2)
         )
     else:
         records = (
@@ -491,6 +548,7 @@ def run_bench(*, quick: bool = False, out: Optional[str] = "BENCH_perf.json") ->
             + bench_forest_traversals()
             + bench_tracer_overhead()
             + bench_serve_cache()
+            + bench_store_prewarm()
         )
     payload = {
         "schema": RUN_SCHEMA,

@@ -493,6 +493,87 @@ def _served_vs_direct(case: Case) -> Optional[str]:
 
 
 @register_oracle(
+    "store-vs-memory",
+    "jobs",
+    "a restart over the durable store serves bit-identical results with no re-solve",
+)
+def _store_vs_memory(case: Case) -> Optional[str]:
+    """The differential contract of the durable tier, driven end to end.
+
+    One store-backed service solves the case cold (persisting the result);
+    a *second* service on the same store — the restart, with prewarming off
+    so the store path itself is exercised — must answer as a store hit,
+    without invoking the solver, byte-identical to both the first answer
+    and a direct facade solve after the full disk + wire round-trip.
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.api import SolveRequest, solve_k_bounded
+    from repro.scheduling.io import schedule_to_dict
+    from repro.serve import SolverService
+
+    jobs, k = case.payload, case.params["k"]
+    request = SolveRequest(jobs=jobs, k=k)
+    direct = solve_k_bounded(jobs, k)
+    direct_bytes = json.dumps(schedule_to_dict(direct.schedule), sort_keys=True)
+
+    def solver_calls(log):
+        def fn(jobs_, k_, *, machines=1, method="auto", **kw):
+            log.append((jobs_.canonical_key(), k_))
+            return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
+
+        return fn
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-store-") as root:
+        path = os.path.join(root, "store")
+        with SolverService(workers=1, store_path=path) as first:
+            cold = first.solve(request)
+            first_stats = first.stats()
+        calls: list = []
+        with SolverService(
+            workers=1, store_path=path, prewarm=False, solve_fn=solver_calls(calls)
+        ) as second:
+            warm = second.solve(request)
+            second_stats = second.stats()
+    if cold.value != direct.value or cold.preemptions_used != direct.preemptions_used:
+        return (
+            f"store-backed cold solve diverges from direct (k={k}): "
+            f"value {cold.value} vs {direct.value}"
+        )
+    if first_stats["store_writes"] != 1:
+        return (
+            f"cold solve was not persisted exactly once (k={k}): "
+            f"store_writes {first_stats['store_writes']}"
+        )
+    if calls:
+        return (
+            f"restarted service re-solved a stored instance (k={k}): "
+            f"{len(calls)} solver calls"
+        )
+    if not warm.metrics.get("served.store_hit"):
+        return f"restart answer is missing its served.store_hit metrics flag (k={k})"
+    if second_stats["store_hits"] != 1:
+        return (
+            f"restart bookkeeping wrong (k={k}): store_hits "
+            f"{second_stats['store_hits']} (want 1)"
+        )
+    for label, served in (("cold", cold), ("restart", warm)):
+        if json.dumps(schedule_to_dict(served.schedule), sort_keys=True) != direct_bytes:
+            return (
+                f"store {label} schedule is not bit-identical to the direct "
+                f"solve after the disk round-trip (k={k})"
+            )
+    if warm.value != cold.value or warm.preemptions_used != cold.preemptions_used:
+        return (
+            f"restart answer diverges from the persisted one (k={k}): "
+            f"value {warm.value} vs {cold.value}"
+        )
+    return None
+
+
+@register_oracle(
     "gateway-vs-direct",
     "jobs",
     "gateway answers over the repro-wire/1 path equal the direct facade solve",

@@ -38,15 +38,20 @@ __all__ = ["run_gateway_bench"]
 BENCH_FORMAT = "repro-gateway-bench/1"
 
 
-async def _http_json(
+async def _http_json_full(
     host: str,
     port: int,
     method: str,
     path: str,
     doc: Optional[Dict[str, Any]] = None,
     headers: Optional[Dict[str, str]] = None,
-) -> Tuple[int, Dict[str, Any]]:
-    """One HTTP request over a fresh connection; returns (status, body)."""
+) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    """One HTTP request over a fresh connection.
+
+    Returns ``(status, body, response_headers)`` with header names
+    lower-cased — the headers matter to the tests asserting the 429
+    backpressure contract (``Retry-After``) over real sockets.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     try:
         body = json.dumps(doc).encode() if doc is not None else b""
@@ -64,21 +69,38 @@ async def _http_json(
         status_line = await reader.readline()
         status = int(status_line.split()[1])
         content_length = 0
+        response_headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 content_length = int(value.strip())
         payload = await reader.readexactly(content_length) if content_length else b"{}"
-        return status, json.loads(payload)
+        return status, json.loads(payload), response_headers
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except ConnectionError:
             pass
+
+
+async def _http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc: Optional[Dict[str, Any]] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP request over a fresh connection; returns (status, body)."""
+    status, payload, _headers = await _http_json_full(
+        host, port, method, path, doc, headers
+    )
+    return status, payload
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:

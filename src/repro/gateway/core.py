@@ -22,7 +22,10 @@ deps) that:
 
 Wire format is ``repro-wire/1`` end to end: the request body is
 ``SolveRequest.to_wire()``, the response wraps ``SolveResult.to_wire()``
-together with the serving shard's index.  Counters
+together with the serving shard's index.  With ``store_dir`` set, each
+shard mounts a durable :class:`repro.store.ResultStore` at
+``<store_dir>/shard-NN`` so its cache survives restarts (see
+``docs/STORE.md``).  Counters
 ``gateway.admitted/rejected/sharded/quota_denied`` flow into the ambient
 :mod:`repro.obs` tracer.  See ``docs/GATEWAY.md``.
 """
@@ -32,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import WIRE_FORMAT, SolveRequest
@@ -43,6 +47,16 @@ from repro.serve.service import ServiceStats
 __all__ = ["Gateway"]
 
 _COUNTERS = ("admitted", "rejected", "sharded", "quota_denied")
+
+
+def _retry_after_headers(seconds: float) -> Dict[str, str]:
+    """The one formatting rule for every 429's ``Retry-After`` header.
+
+    Both rejection paths — tenant quota and shard saturation — go through
+    here, so clients see one consistent convention: a positive integer
+    number of seconds, rounded up (HTTP's delta-seconds form).
+    """
+    return {"Retry-After": str(max(1, math.ceil(seconds)))}
 
 
 class _ShardBatcher:
@@ -103,7 +117,19 @@ class Gateway:
     tests pass :class:`~repro.gateway.shard.InlineShard` to stay in one
     process.  ``quota_rate``/``quota_burst`` configure per-tenant token
     buckets (``None`` disables quotas); ``max_inflight_per_shard`` bounds
-    admission; ``batch_window_ms``/``batch_max`` tune micro-batching.
+    admission, with ``saturation_retry_after_s`` as the backoff hint a
+    saturated shard's 429 carries (the quota path computes its hint from
+    the bucket's refill time; both format through one helper);
+    ``batch_window_ms``/``batch_max`` tune micro-batching.
+
+    ``store_dir`` mounts a durable result store under each shard: shard
+    ``i`` opens a :class:`repro.store.ResultStore` at
+    ``<store_dir>/shard-NN`` via the service's ``store_path`` kwarg, so
+    every shard's cache survives restarts and prewarms its LRU on start.
+    Hash routing makes the per-shard stores disjoint (the same canonical
+    key always lands on the same shard).  Only the default factory
+    consumes it — passing both ``store_dir`` and ``shard_factory`` is an
+    error rather than a silently ignored config.
 
     Endpoints: ``POST /v1/solve``, ``GET /v1/stats``, ``GET /v1/healthz``.
     """
@@ -119,6 +145,8 @@ class Gateway:
         quota_burst: Optional[float] = None,
         batch_window_ms: float = 5.0,
         batch_max: int = 16,
+        saturation_retry_after_s: float = 1.0,
+        store_dir: Optional[str] = None,
         service_kwargs: Optional[Dict[str, Any]] = None,
         shard_factory=None,
         tracer=None,
@@ -130,17 +158,33 @@ class Gateway:
             raise ValueError(
                 f"max_inflight_per_shard must be >= 1, got {max_inflight_per_shard}"
             )
+        if saturation_retry_after_s <= 0:
+            raise ValueError(
+                f"saturation_retry_after_s must be > 0, got {saturation_retry_after_s}"
+            )
+        if store_dir is not None and shard_factory is not None:
+            raise TypeError(
+                "store_dir only applies to the default shard factory — "
+                "wire store_path into your own factory's service_kwargs instead"
+            )
         self._n_shards = shards
         self._host = host
         self._port = port
         self._max_inflight = max_inflight_per_shard
+        self._saturation_retry_after_s = saturation_retry_after_s
         quota_kwargs = {} if clock is None else {"clock": clock}
         self._quota = QuotaManager(quota_rate, quota_burst, **quota_kwargs)
         self._batch_window_ms = batch_window_ms
         self._batch_max = batch_max
         if shard_factory is None:
             kwargs = dict(service_kwargs or {})
-            shard_factory = lambda index: ProcessShard(service_kwargs=kwargs)
+
+            def shard_factory(index: int, _kwargs=kwargs, _store_dir=store_dir):
+                skw = dict(_kwargs)
+                if _store_dir is not None:
+                    skw["store_path"] = os.path.join(_store_dir, f"shard-{index:02d}")
+                return ProcessShard(service_kwargs=skw)
+
         self._shard_factory = shard_factory
         self._tracer = tracer if tracer is not None else current_tracer()
         self._shards: List[Any] = []
@@ -220,7 +264,7 @@ class Gateway:
             return (
                 429,
                 {"error": "tenant quota exhausted", "tenant": tenant},
-                {"Retry-After": str(max(1, math.ceil(retry_after)))},
+                _retry_after_headers(retry_after),
             )
         try:
             request = SolveRequest.from_wire(doc)
@@ -233,7 +277,7 @@ class Gateway:
             return (
                 429,
                 {"error": "shard saturated", "shard": shard_index},
-                {"Retry-After": "1"},
+                _retry_after_headers(self._saturation_retry_after_s),
             )
         self._count("admitted")
         self._inflight[shard_index] += 1

@@ -7,8 +7,11 @@ nodes, EDF-cache hit rates, LSA placement attempts, per-cell sweep
 timings.  The serving layer (:mod:`repro.serve`) adds a ``serve.request``
 span wrapping each dispatched solve plus ``serve.*`` counters (requests,
 hits, misses, coalesced, degraded, evictions, retries, timeouts, errors).
-All of it is off by default and costs < 5 % (gated in CI) on the
-hottest kernel when off.
+A service backed by the durable result store (:mod:`repro.store`) also
+emits the ``store.*`` family — ``store.hits`` / ``store.misses`` /
+``store.writes`` / ``store.prewarmed`` — tracking the disk tier behind
+the memory LRU.  All of it is off by default and costs < 5 % (gated in
+CI) on the hottest kernel when off.
 
 Turn it on by activating a :class:`Tracer` around any library call::
 

@@ -18,7 +18,15 @@ sweep cells and paper instances get re-requested constantly):
   budget that the full pipeline exceeds falls back to the LSA pipeline
   (fast, value-safe, still certificate-valid) and the result is flagged
   with ``metrics["served.degraded"]``.  Degraded results are never
-  cached: the cache key promises the full-pipeline artifact.
+  cached: the cache key promises the full-pipeline artifact;
+* **durable second tier** — a service constructed with ``store=`` or
+  ``store_path=`` mounts a :class:`repro.store.ResultStore` between the
+  memory LRU and the cold solve (lookup order: LRU → store → solve).
+  Store hits are stamped ``metrics["served.store_hit"]`` and promoted
+  into the LRU; cold non-degraded results are persisted (the poisoning
+  rule extends to disk); the LRU is prewarmed from the store at
+  construction.  Store I/O failures are swallowed and counted — a broken
+  disk degrades the service to memory-only, never to erroring requests.
 
 The API is synchronous-friendly and takes one value object per request:
 :meth:`SolverService.submit` accepts a single
@@ -37,9 +45,11 @@ Observability: every request runs under a private tracer whose spans
 merge into the service's tracer — the one active when the service was
 constructed, or one passed explicitly.  Service counters are
 ``serve.requests/hits/misses/coalesced/batched/degraded/evictions/retries/
-timeouts/errors``; :meth:`SolverService.stats` exposes the same numbers
-without any tracer.  See ``docs/SERVING.md`` for the architecture and the
-degradation contract.
+timeouts/errors`` plus the store tier's
+``store.hits/misses/writes/prewarmed``; :meth:`SolverService.stats`
+exposes the same numbers without any tracer.  See ``docs/SERVING.md`` for
+the architecture and the degradation contract, and ``docs/STORE.md`` for
+the durable tier.
 """
 
 from __future__ import annotations
@@ -70,6 +80,10 @@ _STAT_NAMES = (
     "retries",
     "timeouts",
     "errors",
+    "store_hits",
+    "store_misses",
+    "store_writes",
+    "store_prewarmed",
 )
 
 
@@ -97,6 +111,10 @@ class ServiceStats:
     retries: int = 0
     timeouts: int = 0
     errors: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_prewarmed: int = 0
     cache_size: int = 0
     inflight: int = 0
 
@@ -137,6 +155,15 @@ class SolverService:
     spans without activating a context tracer.  ``solve_fn`` exists for
     tests (fault windows, slow solves); production callers never set it.
 
+    ``store`` mounts an existing :class:`repro.store.ResultStore` as the
+    durable second cache tier; ``store_path`` (mutually exclusive) opens
+    one at that directory and the service owns it (closing it at
+    :meth:`shutdown`) — being a plain string, ``store_path`` also travels
+    through the gateway's ``service_kwargs`` into forked shard processes.
+    ``prewarm`` (default on) loads the store's most recently written
+    results into the memory LRU at construction, counted in
+    ``store_prewarmed``.
+
     A timed-out pipeline attempt is *abandoned*, not interrupted — the
     worker thread finishes in the background while the degraded answer is
     served (solves are pure, so this wastes CPU but corrupts nothing).
@@ -152,9 +179,14 @@ class SolverService:
         deadline_ms: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         solve_fn: Optional[Callable[..., SolveResult]] = None,
+        store=None,
+        store_path: Optional[str] = None,
+        prewarm: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if store is not None and store_path is not None:
+            raise TypeError("pass either store= or store_path=, not both")
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -169,6 +201,19 @@ class SolverService:
         self._solve = solve_fn if solve_fn is not None else solve_k_bounded
         self._default_deadline_ms = deadline_ms
         self._closed = False
+        self._owns_store = False
+        if store is None and store_path is not None:
+            from repro.store import ResultStore
+
+            store = ResultStore(store_path)
+            self._owns_store = True
+        self._store = store
+        if self._store is not None and prewarm:
+            loaded = self._store.prewarm_into(self._cache, limit=cache_size)
+            if loaded:
+                with self._lock:
+                    self._stats["store_prewarmed"] += loaded
+                    self._count_tracer("store.prewarmed", loaded)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -179,10 +224,16 @@ class SolverService:
         self.shutdown()
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (by default) drain in-flight solves."""
+        """Stop accepting work and (by default) drain in-flight solves.
+
+        A store opened via ``store_path`` is closed after the pool drains;
+        a caller-provided ``store`` object is left open (it may be shared).
+        """
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._owns_store and self._store is not None:
+            self._store.close()
 
     # -- request coercion (the SolveRequest redesign + legacy shims) ----------
 
@@ -502,6 +553,39 @@ class SolverService:
         if entry is not None and entry[0] is fut:
             del self._inflight[key]
 
+    def _store_get(self, key: str) -> Optional[SolveResult]:
+        # Store I/O must never fail a request: any store-side exception is
+        # treated as a miss (the cold solve is always a safe fallback).
+        if self._store is None:
+            return None
+        try:
+            return self._store.get(key)
+        except Exception:
+            return None
+
+    def _store_put(self, key: str, result: SolveResult) -> int:
+        # Returns 1 on a new durable write, 0 otherwise; never raises.
+        if self._store is None:
+            return 0
+        try:
+            return int(self._store.put(key, result))
+        except Exception:
+            return 0
+
+    def _serve_store_hit(
+        self, key: str, fut: "Future[SolveResult]", stored: SolveResult
+    ) -> None:
+        """Resolve one request from the durable tier, promoting into the LRU."""
+        with self._lock:
+            evicted = self._cache.put(key, stored)
+            self._drop_inflight(key, fut)
+            self._stats["store_hits"] += 1
+            self._stats["evictions"] += evicted
+            self._count_tracer("store.hits")
+            if evicted:
+                self._count_tracer("serve.evictions", evicted)
+        fut.set_result(stored.with_metrics({"served.store_hit": 1.0}))
+
     def _run(
         self,
         key: str,
@@ -512,6 +596,17 @@ class SolverService:
         method: str,
         deadline_ms: Optional[float],
     ) -> None:
+        if self._store is not None:
+            stored = self._store_get(key)
+            if stored is not None:
+                # The durable tier only holds full-pipeline artifacts, so a
+                # store hit satisfies deadline-bound and unbound requests
+                # alike — and is always faster than degrading.
+                self._serve_store_hit(key, fut, stored)
+                return
+            with self._lock:
+                self._stats["store_misses"] += 1
+                self._count_tracer("store.misses")
         tracer = Tracer()
         try:
             with tracer.activate():
@@ -539,6 +634,12 @@ class SolverService:
             return
         served["served.wall_ms"] = float(wall_ms)
         result = result.with_metrics(served)
+        # Persist outside the service lock: store I/O serialises on the
+        # store's own lock and must not stall cache lookups.  The poisoning
+        # rule extends to disk — degraded results are never persisted.
+        wrote = 0
+        if not served["served.degraded"]:
+            wrote = self._store_put(key, result)
         with self._lock:
             if served["served.degraded"]:
                 # Never cache a degraded answer: the cache key promises the
@@ -553,6 +654,8 @@ class SolverService:
             self._stats["degraded"] += int(served["served.degraded"])
             self._stats["retries"] += int(served["served.retries"])
             self._stats["timeouts"] += int(served["served.timeouts"])
+            self._stats["errors"] += int(served["served.errors"])
+            self._stats["store_writes"] += wrote
             if self._tracer is not None:
                 if evicted:
                     self._count_tracer("serve.evictions", evicted)
@@ -562,6 +665,10 @@ class SolverService:
                     self._count_tracer("serve.retries", served["served.retries"])
                 if served["served.timeouts"]:
                     self._count_tracer("serve.timeouts", served["served.timeouts"])
+                if served["served.errors"]:
+                    self._count_tracer("serve.errors", served["served.errors"])
+                if wrote:
+                    self._count_tracer("store.writes", wrote)
                 self._tracer.merge(tracer.export())
         fut.set_result(result)
 
@@ -573,7 +680,28 @@ class SolverService:
         result is cached.  A failure of the batched solve is retried once —
         mirroring the no-deadline :meth:`_solve_with_deadline` contract —
         and then fails *all* the group's futures.
+
+        With a store mounted, members found on disk are resolved as store
+        hits up front and only the remainder is batch-solved (the group was
+        already counted ``batched`` at submit time: the stat tracks requests
+        drained through the batch path, not kernel membership).
         """
+        if self._store is not None:
+            remaining = []
+            for key, fut, jobs in group:
+                stored = self._store_get(key)
+                if stored is None:
+                    remaining.append((key, fut, jobs))
+                else:
+                    self._serve_store_hit(key, fut, stored)
+            if len(remaining) != len(group):
+                group = remaining
+            if group:
+                with self._lock:
+                    self._stats["store_misses"] += len(group)
+                    self._count_tracer("store.misses", len(group))
+            else:
+                return
         tracer = Tracer()
         retries = 0
         try:
@@ -617,12 +745,18 @@ class SolverService:
             )
             for result in results
         ]
+        wrote = 0
+        for (key, _, _), result in zip(group, stamped):
+            wrote += self._store_put(key, result)
         with self._lock:
             evicted = 0
             for (key, fut, _), result in zip(group, stamped):
                 evicted += self._cache.put(key, result)
                 self._drop_inflight(key, fut)
             self._stats["evictions"] += evicted
+            self._stats["store_writes"] += wrote
+            if wrote:
+                self._count_tracer("store.writes", wrote)
             if retries:
                 self._stats["retries"] += retries
             if self._tracer is not None:
@@ -656,6 +790,7 @@ class SolverService:
             "served.degraded": 0.0,
             "served.retries": 0.0,
             "served.timeouts": 0.0,
+            "served.errors": 0.0,
         }
         attempt = lambda: self._solve(jobs, k, machines=machines, method=method)
         if deadline_ms is None:
@@ -675,13 +810,16 @@ class SolverService:
                 status, payload = _attempt_with_timeout(attempt, remaining)
             else:
                 # No budget left for a retry: degrade without counting a
-                # retry that never ran.
-                status, payload = "timeout", None
+                # retry that never ran.  The attempt *errored* — it did not
+                # time out — so this counts as an error, not a timeout.
+                served["served.errors"] = 1.0
+                status, payload = "degrade", None
         if status == "ok":
             return payload, served
         if status == "error":
             raise payload
-        served["served.timeouts"] = 1.0
+        if status == "timeout":
+            served["served.timeouts"] = 1.0
         served["served.degraded"] = 1.0
         # enforce_laxity=False keeps the fallback total: feasibility never
         # needed the laxity bound, only the value guarantee does.
@@ -697,7 +835,14 @@ def _attempt_with_timeout(fn: Callable[[], Any], timeout_s: float):
     Returns ``("ok", result)``, ``("error", exception)`` or
     ``("timeout", None)``.  On timeout the thread is left to finish in the
     background (Python offers no safe preemption; solves are pure).
+
+    An exhausted budget short-circuits *before* any thread is spawned:
+    ``done.wait(0)`` would return immediately while the daemon thread ran
+    a full cold solve nobody consumes — one leaked background solve per
+    already-expired request.
     """
+    if timeout_s <= 0:
+        return "timeout", None
     box: Dict[str, Any] = {}
     done = threading.Event()
 

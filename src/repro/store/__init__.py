@@ -1,0 +1,13 @@
+"""repro.store — durable, versioned result store for the serve tier.
+
+Persists :class:`repro.api.SolveResult` artifacts as append-only JSONL
+segments keyed by the serve request key + solver version + wire schema
+version, with crash-safe tail recovery, compaction, verification and
+snapshot export/import.  :class:`repro.serve.SolverService` mounts it as
+a second cache tier (memory LRU → store → cold solve); the ``repro
+store`` CLI exposes the maintenance verbs.  See ``docs/STORE.md``.
+"""
+
+from repro.store.store import STORE_FORMAT, ResultStore, solver_version
+
+__all__ = ["STORE_FORMAT", "ResultStore", "solver_version"]

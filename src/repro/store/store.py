@@ -1,0 +1,537 @@
+"""The durable result store: append-only JSONL segments + compacting index.
+
+The expensive artifacts in this repository are exact solves — an
+``OPT_∞``/k-bounded answer for one canonical instance is pure, versioned
+and endlessly re-requested, which makes it the perfect unit of durable
+caching.  :class:`ResultStore` persists :class:`repro.api.SolveResult`
+artifacts keyed by the serve tier's request key
+(:func:`repro.api.request_key`), stamped with the solver version and the
+``repro-wire/1`` schema version, in a directory of append-only JSONL
+segment files:
+
+    store/
+      seg-00000001.jsonl      # one JSON record per line, append-only
+      seg-00000002.jsonl      # the active segment (rolls at a size bound)
+
+Each record is self-describing::
+
+    {"format": "repro-store/1", "key": "<request_key>",
+     "solver": "<repro.__version__>", "wire": "repro-wire/1",
+     "result": {<SolveResult.to_wire() document>}}
+
+Design properties the serve tier relies on:
+
+* **bit-exact round-trips** — results travel through the exact-rational
+  ``repro-wire/1`` codec (``SolveResult.to_wire``/``from_wire``), so a
+  stored schedule replays byte-identically across restarts and machines;
+* **crash safety** — a torn/truncated tail line (the crash-mid-append
+  case) is healed by truncating the segment back to its last complete
+  record; a corrupt line anywhere else is skipped and counted, never
+  raised.  A record that fails to decode at read time falls back to a
+  miss (cold solve), never a crash and never a stale artifact;
+* **versioned invalidation** — records whose ``solver`` or ``wire`` stamp
+  differs from the store's are invisible to the index (counted
+  ``version_skipped``) and dropped permanently by :meth:`compact`.
+  Bumping the solver version therefore invalidates every stale artifact
+  without touching the files;
+* **the poisoning rule** — :meth:`put` refuses results flagged
+  ``served.degraded`` (the memory LRU's rule from the serve tier, made
+  structural): a durable cache entry promises the full-pipeline artifact;
+* **snapshot sharing** — :meth:`export_snapshot`/:meth:`import_snapshot`
+  move a store's live set through a single JSONL file so a fleet can
+  prewarm new shards from a warmed one (CLI: ``repro store export`` /
+  ``import`` / ``compact`` / ``verify``).
+
+Thread-safe (one internal lock); the serve tier calls it from worker
+threads.  See ``docs/STORE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.api import WIRE_FORMAT, SolveResult
+
+__all__ = ["STORE_FORMAT", "ResultStore", "solver_version"]
+
+#: Version tag of the on-disk record schema.  Bump only with a migration
+#: path: segments and snapshots are shared across fleets.
+STORE_FORMAT = "repro-store/1"
+
+#: Default segment roll size — small enough that compaction and snapshot
+#: diffs stay cheap, large enough that a warm corpus fits in a handful.
+_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def solver_version() -> str:
+    """The library version results are stamped with (``repro.__version__``).
+
+    A store built by one solver version never serves artifacts written by
+    another: bumping the version is the invalidation path.
+    """
+    from repro import __version__
+
+    return __version__
+
+
+def _canonical_json(doc: Any) -> str:
+    """The byte-stable JSON encoding used for bit-exact comparisons."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Disk-backed, versioned map from request key to :class:`SolveResult`.
+
+    ``root`` is a directory (created if missing) of append-only JSONL
+    segments.  ``solver_version`` defaults to the library version; records
+    stamped with any other version (or wire schema) are ignored and
+    reported in :attr:`counters` — see the module docstring for the
+    invalidation contract.  ``segment_max_bytes`` bounds the active
+    segment before a roll; ``fsync=True`` makes every append durable
+    against power loss (off by default: the serve tier prefers throughput,
+    and a torn tail heals on the next open).
+
+    :attr:`counters` tracks ``hits``/``misses``/``writes`` plus the repair
+    ledger (``corrupt``, ``version_skipped``, ``recovered_tail``) — the
+    serve tier mirrors the hot-path numbers into ``repro.obs`` as
+    ``store.hits/misses/writes/prewarmed``.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        solver_version: Optional[str] = None,
+        segment_max_bytes: int = _SEGMENT_MAX_BYTES,
+        fsync: bool = False,
+    ):
+        if segment_max_bytes < 1:
+            raise ValueError(
+                f"segment_max_bytes must be >= 1, got {segment_max_bytes}"
+            )
+        self.root = str(root)
+        self.solver_version = (
+            solver_version if solver_version is not None else globals()["solver_version"]()
+        )
+        self._segment_max_bytes = segment_max_bytes
+        self._fsync = fsync
+        self._lock = threading.RLock()
+        # key -> (segment path, byte offset, byte length) of the live record.
+        self._index: Dict[str, Tuple[str, int, int]] = {}
+        self._active: Optional[str] = None
+        self._active_fh = None
+        self._closed = False
+        self.counters: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "corrupt": 0,
+            "version_skipped": 0,
+            "recovered_tail": 0,
+        }
+        os.makedirs(self.root, exist_ok=True)
+        self._scan_segments()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        with self._lock:
+            self._closed = True
+            if self._active_fh is not None:
+                self._active_fh.close()
+                self._active_fh = None
+
+    # -- startup scan / crash recovery ---------------------------------------
+
+    def _segment_paths(self) -> List[str]:
+        names = [
+            name
+            for name in os.listdir(self.root)
+            if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+        ]
+        return [os.path.join(self.root, name) for name in sorted(names)]
+
+    def _next_segment_path(self) -> str:
+        existing = self._segment_paths()
+        if existing:
+            last = os.path.basename(existing[-1])
+            n = int(last[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]) + 1
+        else:
+            n = 1
+        return os.path.join(self.root, f"{_SEGMENT_PREFIX}{n:08d}{_SEGMENT_SUFFIX}")
+
+    def _record_ok(self, record: Any) -> Optional[str]:
+        """``None`` when a decoded record is indexable, else the skip reason."""
+        if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
+            return "corrupt"
+        if not isinstance(record.get("key"), str) or "result" not in record:
+            return "corrupt"
+        if (
+            record.get("solver") != self.solver_version
+            or record.get("wire") != WIRE_FORMAT
+        ):
+            return "version_skipped"
+        return None
+
+    def _scan_segments(self) -> None:
+        """Build the index; heal a torn tail on the newest segment.
+
+        A parse failure on the *final* line of the *final* segment is the
+        signature of a crash mid-append: the segment is truncated back to
+        its last complete record (counted ``recovered_tail``).  A parse
+        failure anywhere else means in-place corruption: the line is
+        skipped and counted ``corrupt`` — later writes of the same key
+        still win, earlier ones still serve.
+        """
+        paths = self._segment_paths()
+        for path_idx, path in enumerate(paths):
+            is_last_segment = path_idx == len(paths) - 1
+            offset = 0
+            truncate_at: Optional[int] = None
+            with open(path, "rb") as fh:
+                data = fh.read()
+            lines = data.split(b"\n")
+            for line_idx, raw in enumerate(lines):
+                length = len(raw) + 1  # the split consumed the newline
+                if not raw.strip():
+                    offset += length
+                    continue
+                rest_blank = all(not later.strip() for later in lines[line_idx + 1:])
+                complete = data[offset:offset + len(raw) + 1].endswith(b"\n")
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    record = None
+                if record is None and is_last_segment and rest_blank and not complete:
+                    # Torn tail: the crash-mid-append case.  Heal in place.
+                    truncate_at = offset
+                    self.counters["recovered_tail"] += 1
+                    break
+                if record is None:
+                    self.counters["corrupt"] += 1
+                    offset += length
+                    continue
+                reason = self._record_ok(record)
+                if reason is not None:
+                    self.counters[reason] += 1
+                else:
+                    self._index[record["key"]] = (path, offset, len(raw))
+                offset += length
+            if truncate_at is not None:
+                with open(path, "r+b") as fh:
+                    fh.truncate(truncate_at)
+        if paths:
+            self._active = paths[-1]
+
+    # -- the mapping surface --------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def keys(self) -> List[str]:
+        """Live keys, oldest-written first (snapshot)."""
+        with self._lock:
+            return list(self._index)
+
+    def get(self, key: str) -> Optional[SolveResult]:
+        """The stored result for ``key``, or ``None``.
+
+        A record that fails to read or decode (file vanished, bit rot, a
+        wire document the codec rejects) is dropped from the index and
+        reported as a miss — the caller's fallback is a cold solve, which
+        is always safe; a crash or a stale artifact never is.
+        """
+        with self._lock:
+            loc = self._index.get(key)
+            if loc is None:
+                self.counters["misses"] += 1
+                return None
+            record = self._read_record(loc)
+            if record is None:
+                del self._index[key]
+                self.counters["corrupt"] += 1
+                self.counters["misses"] += 1
+                return None
+            try:
+                result = SolveResult.from_wire(record["result"])
+            except (TypeError, ValueError, KeyError):
+                del self._index[key]
+                self.counters["corrupt"] += 1
+                self.counters["misses"] += 1
+                return None
+            self.counters["hits"] += 1
+            return result
+
+    def _read_record(self, loc: Tuple[str, int, int]) -> Optional[Dict[str, Any]]:
+        path, offset, length = loc
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                raw = fh.read(length)
+            record = json.loads(raw.decode("utf-8"))
+        except (OSError, UnicodeDecodeError, ValueError):
+            return None
+        return record if self._record_ok(record) is None else None
+
+    def put(self, key: str, result: SolveResult, *, overwrite: bool = False) -> bool:
+        """Persist one result under ``key``; returns whether a write happened.
+
+        Degraded results (``metrics["served.degraded"]``) are refused with
+        ``ValueError`` — the store extends the serve tier's cache-poisoning
+        rule to disk, where a bad entry would otherwise outlive every
+        restart.  An existing key is left untouched unless ``overwrite``
+        (results are pure, so a duplicate write is just wasted bytes).
+        """
+        if not isinstance(result, SolveResult):
+            raise TypeError(f"expected a SolveResult, got {type(result).__name__}")
+        if result.metrics.get("served.degraded"):
+            raise ValueError(
+                "degraded results are never persisted: the store key promises "
+                "the full-pipeline artifact"
+            )
+        record = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "solver": self.solver_version,
+            "wire": WIRE_FORMAT,
+            "result": result.to_wire(),
+        }
+        line = _canonical_json(record).encode("utf-8")
+        with self._lock:
+            if self._closed:
+                raise ValueError("put on a closed ResultStore")
+            if key in self._index and not overwrite:
+                return False
+            fh = self._writer()
+            offset = fh.tell()
+            fh.write(line + b"\n")
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+            self._index[key] = (self._active, offset, len(line))
+            self.counters["writes"] += 1
+            return True
+
+    def _writer(self):
+        # Caller holds the lock.  Roll the active segment when full.
+        if self._active_fh is not None and self._active_fh.tell() >= self._segment_max_bytes:
+            self._active_fh.close()
+            self._active_fh = None
+            self._active = None
+        if self._active_fh is None:
+            if self._active is None or not os.path.exists(self._active):
+                self._active = self._next_segment_path()
+            self._active_fh = open(self._active, "ab")
+            if self._active_fh.tell() >= self._segment_max_bytes:
+                self._active_fh.close()
+                self._active = self._next_segment_path()
+                self._active_fh = open(self._active, "ab")
+        return self._active_fh
+
+    def items(self) -> Iterator[Tuple[str, SolveResult]]:
+        """Iterate live ``(key, result)`` pairs, oldest-written first.
+
+        Unreadable records are skipped (and counted), mirroring :meth:`get`.
+        """
+        for key in self.keys():
+            result = self.get(key)
+            if result is not None:
+                self.counters["hits"] -= 1  # bulk iteration is not a serving hit
+                yield key, result
+
+    def prewarm_into(self, cache, limit: Optional[int] = None) -> int:
+        """Load the most recently written results into an LRU-style cache.
+
+        ``cache`` needs only ``put(key, value)`` (the serve tier passes its
+        :class:`repro.serve.LruCache`).  Returns how many entries loaded;
+        the newest entry lands most-recent in the cache.
+        """
+        keys = self.keys()
+        if limit is not None:
+            keys = keys[-limit:]
+        loaded = 0
+        for key in keys:
+            result = self.get(key)
+            if result is None:
+                continue
+            self.counters["hits"] -= 1  # prewarming is not a serving hit
+            cache.put(key, result)
+            loaded += 1
+        return loaded
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the live set into one fresh segment; drop everything else.
+
+        Removes superseded duplicates, corrupt lines and version-mismatched
+        records for good.  Crash-safe: the new segment is fully written and
+        synced before any old segment is deleted, and the newest-segment-
+        wins replay order means a crash between the two steps just leaves
+        redundant (identical) records for the next compaction.
+        """
+        with self._lock:
+            if self._active_fh is not None:
+                self._active_fh.close()
+                self._active_fh = None
+            old_paths = self._segment_paths()
+            live: List[Tuple[str, bytes]] = []
+            for key, loc in self._index.items():
+                record = self._read_record(loc)
+                if record is not None:
+                    live.append((key, _canonical_json(record).encode("utf-8")))
+            new_path = self._next_segment_path()
+            new_index: Dict[str, Tuple[str, int, int]] = {}
+            with open(new_path, "ab") as fh:
+                for key, line in live:
+                    offset = fh.tell()
+                    fh.write(line + b"\n")
+                    new_index[key] = (new_path, offset, len(line))
+                fh.flush()
+                os.fsync(fh.fileno())
+            removed = 0
+            for path in old_paths:
+                if path != new_path:
+                    os.unlink(path)
+                    removed += 1
+            self._index = new_index
+            self._active = new_path
+            return {"live": len(live), "segments_removed": removed}
+
+    def verify(self) -> Dict[str, Any]:
+        """Re-decode every live record and check its wire round-trip.
+
+        Each stored ``result`` document must decode to a
+        :class:`SolveResult` whose re-encoding is byte-identical to what
+        is on disk (the exact-rational codec guarantee).  Returns a report
+        dict; ``ok`` is ``False`` on any unreadable or non-round-tripping
+        record.  Read-only: broken records are reported, not dropped
+        (:meth:`compact` is the repair path).
+        """
+        checked = unreadable = mismatched = 0
+        mismatches: List[str] = []
+        with self._lock:
+            locations = dict(self._index)
+        for key, loc in locations.items():
+            checked += 1
+            record = self._read_record(loc)
+            if record is None:
+                unreadable += 1
+                mismatches.append(f"{key}: unreadable record")
+                continue
+            try:
+                result = SolveResult.from_wire(record["result"])
+                roundtrip = _canonical_json(result.to_wire())
+            except (TypeError, ValueError, KeyError) as exc:
+                unreadable += 1
+                mismatches.append(f"{key}: result document rejected ({exc})")
+                continue
+            if roundtrip != _canonical_json(record["result"]):
+                mismatched += 1
+                mismatches.append(f"{key}: wire round-trip not byte-identical")
+        return {
+            "format": STORE_FORMAT,
+            "solver": self.solver_version,
+            "checked": checked,
+            "unreadable": unreadable,
+            "mismatched": mismatched,
+            "details": mismatches[:20],
+            "ok": unreadable == 0 and mismatched == 0,
+        }
+
+    # -- snapshot sharing ------------------------------------------------------
+
+    def export_snapshot(self, path: str) -> int:
+        """Write the live set to one JSONL snapshot file; returns the count.
+
+        The snapshot is a header line (``kind: "snapshot"``) followed by
+        ordinary store records — the same self-describing format as the
+        segments, so a snapshot is also a valid import source for any
+        fleet member running the same solver version.
+        """
+        with self._lock:
+            live: List[bytes] = []
+            for loc in self._index.values():
+                record = self._read_record(loc)
+                if record is not None:
+                    live.append(_canonical_json(record).encode("utf-8"))
+        header = _canonical_json(
+            {
+                "format": STORE_FORMAT,
+                "kind": "snapshot",
+                "solver": self.solver_version,
+                "wire": WIRE_FORMAT,
+                "entries": len(live),
+            }
+        ).encode("utf-8")
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(header + b"\n")
+            for line in live:
+                fh.write(line + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return len(live)
+
+    def import_snapshot(self, path: str, *, overwrite: bool = False) -> Dict[str, int]:
+        """Merge a snapshot (or raw segment) file into this store.
+
+        Every line is validated the same way the startup scan validates a
+        segment: records from a different solver/wire version are skipped
+        (counted), corrupt lines are skipped (counted), and each surviving
+        ``result`` document must decode cleanly before it is written.
+        Existing keys are kept unless ``overwrite``.  Returns the tally.
+        """
+        imported = duplicates = skipped = corrupt = 0
+        with open(path, "rb") as fh:
+            for raw in fh:
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    corrupt += 1
+                    continue
+                if isinstance(record, dict) and record.get("kind") == "snapshot":
+                    continue  # header line
+                reason = self._record_ok(record)
+                if reason == "corrupt":
+                    corrupt += 1
+                    continue
+                if reason == "version_skipped":
+                    skipped += 1
+                    continue
+                try:
+                    result = SolveResult.from_wire(record["result"])
+                except (TypeError, ValueError, KeyError):
+                    corrupt += 1
+                    continue
+                if self.put(record["key"], result, overwrite=overwrite):
+                    imported += 1
+                else:
+                    duplicates += 1
+        return {
+            "imported": imported,
+            "duplicates": duplicates,
+            "version_skipped": skipped,
+            "corrupt": corrupt,
+        }

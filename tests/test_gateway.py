@@ -21,7 +21,7 @@ from repro.gateway import (
     TokenBucket,
     shard_for_key,
 )
-from repro.gateway.bench import _http_json, run_gateway_bench
+from repro.gateway.bench import _http_json, _http_json_full, run_gateway_bench
 from repro.instances import random_jobs
 
 
@@ -259,6 +259,124 @@ class TestGatewayInline:
         assert payload["error"] == "shard saturated"
         assert headers["Retry-After"] == "1"
         assert counters["rejected"] == 1
+
+    def test_saturation_retry_after_is_configurable_and_aligned(self):
+        """Both 429 paths share one Retry-After convention; the saturation
+        hint is configurable instead of a hardcoded "1".  (Regression: the
+        two rejection paths used to format their headers independently —
+        the quota path computed delta-seconds while saturation pinned a
+        literal, and no knob could tell clients how long a saturated shard
+        expects to stay busy.)"""
+
+        class StuckShard:
+            def __init__(self):
+                self.release = asyncio.Event()
+
+            async def start(self):
+                pass
+
+            async def call(self, op, **payload):
+                if op in ("solve", "batch"):
+                    await self.release.wait()
+                return {"ok": True, "result": None, "results": []}
+
+            async def stop(self):
+                self.release.set()
+
+        async def scenario():
+            stuck = StuckShard()
+            gateway = Gateway(
+                shards=1,
+                shard_factory=lambda index: stuck,
+                batch_window_ms=0.0,
+                max_inflight_per_shard=1,
+                saturation_retry_after_s=3.2,
+            )
+            async with gateway:
+                req = _requests(1)[0]
+                first = asyncio.ensure_future(gateway.handle_solve(req.to_wire()))
+                await asyncio.sleep(0.05)
+                status, _payload, headers = await gateway.handle_solve(req.to_wire())
+                stuck.release.set()
+                await first
+            return status, headers
+
+        status, headers = _run(scenario())
+        assert status == 429
+        # One convention for both paths: ceil to whole delta-seconds.
+        assert headers["Retry-After"] == "4"
+
+    def test_saturation_retry_after_validation(self):
+        with pytest.raises(ValueError, match="saturation_retry_after_s"):
+            Gateway(shards=1, saturation_retry_after_s=0)
+
+    def test_http_429s_carry_retry_after_on_both_paths(self):
+        """Over real sockets, quota and saturation rejections both emit the
+        Retry-After header (the in-process handle_solve tests can't prove
+        the HTTP layer actually writes the extra headers out)."""
+
+        class StuckShard:
+            def __init__(self):
+                self.release = asyncio.Event()
+
+            async def start(self):
+                pass
+
+            async def call(self, op, **payload):
+                if op in ("solve", "batch"):
+                    await self.release.wait()
+                return {"ok": True, "result": None, "results": []}
+
+            async def stop(self):
+                self.release.set()
+
+        async def scenario():
+            req = _requests(1)[0]
+            # Quota path: burst of 1, second request from the tenant denied.
+            now = [0.0]
+            quota_gw = Gateway(
+                shards=1,
+                shard_factory=_inline_factory(),
+                batch_window_ms=0.0,
+                quota_rate=0.5,
+                quota_burst=1,
+                clock=lambda: now[0],
+            )
+            async with quota_gw:
+                host, port = "127.0.0.1", quota_gw.port
+                await _http_json_full(host, port, "POST", "/v1/solve", req.to_wire())
+                quota = await _http_json_full(
+                    host, port, "POST", "/v1/solve", req.to_wire()
+                )
+            # Saturation path: one stuck shard, inflight bound of 1.
+            stuck = StuckShard()
+            sat_gw = Gateway(
+                shards=1,
+                shard_factory=lambda index: stuck,
+                batch_window_ms=0.0,
+                max_inflight_per_shard=1,
+                saturation_retry_after_s=2.5,
+            )
+            async with sat_gw:
+                host, port = "127.0.0.1", sat_gw.port
+                blocked = asyncio.ensure_future(
+                    _http_json_full(host, port, "POST", "/v1/solve", req.to_wire())
+                )
+                await asyncio.sleep(0.05)
+                saturated = await _http_json_full(
+                    host, port, "POST", "/v1/solve", req.to_wire()
+                )
+                stuck.release.set()
+                await blocked
+            return quota, saturated
+
+        quota, saturated = _run(scenario())
+        q_status, q_payload, q_headers = quota
+        s_status, s_payload, s_headers = saturated
+        assert q_status == 429 and q_payload["error"] == "tenant quota exhausted"
+        assert int(q_headers["retry-after"]) >= 1
+        assert s_status == 429 and s_payload["error"] == "shard saturated"
+        assert s_headers["retry-after"] == "3"  # ceil(2.5), the shared rule
 
     def test_bad_wire_document_is_400(self):
         async def scenario():

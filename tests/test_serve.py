@@ -384,6 +384,62 @@ class TestServiceSemantics:
         assert result.metrics["served.retries"] == 0.0
         assert stats["retries"] == 0 and stats["degraded"] == 1
 
+    def test_error_with_exhausted_budget_counts_error_not_timeout(
+        self, monkeypatch
+    ):
+        """An attempt that *errors* after the budget ran out is an error,
+        not a timeout.  (Regression: the no-budget-left error path reused
+        the timeout degrade branch and stamped ``served.timeouts = 1``,
+        so solver crashes near the deadline were invisible in the error
+        column and inflated the timeout one.)"""
+        from repro.serve import service as service_mod
+
+        jobs, k = _corpus(1)[0]
+        clock = iter([0.0, 10.0])  # t0, then a reading far past the budget
+
+        class FakeTime:
+            perf_counter = staticmethod(lambda: next(clock))
+
+        def failing(jobs_, k_, *, machines=1, method="auto", **kw):
+            if method == "lsa":
+                return solve_k_bounded(
+                    jobs_, k_, machines=machines, method=method, **kw
+                )
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service_mod, "time", FakeTime)
+        with SolverService(workers=1, solve_fn=failing) as svc:
+            result = svc.solve(jobs, k, deadline_ms=100)
+            stats = svc.stats()
+        assert result.degraded
+        assert result.metrics["served.errors"] == 1.0
+        assert result.metrics["served.timeouts"] == 0.0
+        assert stats["errors"] == 1 and stats["timeouts"] == 0
+
+    def test_exhausted_budget_spawns_no_attempt_thread(self):
+        """``_attempt_with_timeout`` with no budget must not start a solve
+        thread.  (Regression: it spawned the daemon thread and then waited
+        0 s for it — reporting a timeout while a full cold solve nobody
+        would consume kept burning a core in the background.)"""
+        from repro.serve.service import _attempt_with_timeout
+
+        started = threading.Event()
+
+        def leaked_solve():
+            started.set()
+            return "never consumed"
+
+        before = [
+            t for t in threading.enumerate() if t.name == "repro-serve-attempt"
+        ]
+        status, payload = _attempt_with_timeout(leaked_solve, 0.0)
+        assert (status, payload) == ("timeout", None)
+        assert not started.wait(0.2), "zero-budget attempt ran the solve"
+        after = [
+            t for t in threading.enumerate() if t.name == "repro-serve-attempt"
+        ]
+        assert len(after) == len(before)
+
     def test_generous_deadline_not_degraded(self):
         jobs, k = _corpus(1)[0]
         with SolverService(workers=1) as svc:
