@@ -636,6 +636,174 @@ def _gateway_vs_direct(case: Case) -> Optional[str]:
     return None
 
 
+@register_oracle(
+    "gateway-ring-vs-mod",
+    "jobs",
+    "ring routing is deterministic, monotone under fleet growth, and serves "
+    "the same answers as mod-N",
+)
+def _gateway_ring_vs_mod(case: Case) -> Optional[str]:
+    """Check the consistent-hash ring against mod-N on one case's key.
+
+    Pure routing math first — determinism (``ring_shard_for_key`` equals
+    a fresh :class:`HashRing` lookup, in range, for fleets of 1..8) and
+    the defining consistent-hashing property, *monotonicity*: growing the
+    fleet from ``n`` to ``n+1`` shards either keeps the key's owner or
+    moves it to the new shard ``n``, never to a pre-existing one.  Then
+    one in-process gateway per routing mode proves both modes serve the
+    direct-solve answer and route to the shard their hash predicts.
+    """
+    import asyncio
+
+    from repro.api import SolveRequest, SolveResult, solve_k_bounded
+    from repro.gateway import (
+        Gateway,
+        HashRing,
+        InlineShard,
+        ring_shard_for_key,
+        shard_for_key,
+    )
+
+    jobs, k = case.payload, case.params["k"]
+    request = SolveRequest(jobs=jobs, k=k)
+    key = request.canonical_key()
+    for n in range(1, 9):
+        owner = ring_shard_for_key(key, n)
+        if owner != HashRing(n).shard_for(key):
+            return f"ring lookup is not deterministic at {n} shards (k={k})"
+        if not 0 <= owner < n:
+            return f"ring routed key to shard {owner} of {n} (k={k})"
+    for n in range(1, 8):
+        before = ring_shard_for_key(key, n)
+        after = ring_shard_for_key(key, n + 1)
+        if after != before and after != n:
+            return (
+                f"ring growth {n}->{n + 1} moved the key from shard {before} "
+                f"to pre-existing shard {after} instead of the new one (k={k})"
+            )
+    direct = solve_k_bounded(jobs, k)
+
+    async def drive(routing: str):
+        gateway = Gateway(
+            shards=2,
+            routing=routing,
+            shard_factory=lambda index: InlineShard(workers=1),
+            batch_window_ms=0.0,
+        )
+        await gateway.start()
+        try:
+            return await gateway.handle_solve(request.to_wire())
+        finally:
+            await gateway.stop()
+
+    for routing, expected_shard in (
+        ("mod", shard_for_key(key, 2)),
+        ("ring", HashRing(2).shard_for(key)),
+    ):
+        status, payload, _headers = asyncio.run(drive(routing))
+        if status != 200:
+            return f"{routing} gateway failed: HTTP {status} {payload} (k={k})"
+        if payload["shard"] != expected_shard:
+            return (
+                f"{routing} gateway routed to shard {payload['shard']}, "
+                f"expected {expected_shard} (k={k})"
+            )
+        served = SolveResult.from_wire(payload["result"])
+        if served.value != direct.value:
+            return (
+                f"{routing} gateway diverges from direct solve (k={k}): "
+                f"value {served.value} vs {direct.value}"
+            )
+    return None
+
+
+@register_oracle(
+    "gateway-restart-equivalence",
+    "jobs",
+    "a supervised shard restart changes no answers: the store-backed "
+    "replacement serves the persisted result without re-solving",
+)
+def _gateway_restart_equivalence(case: Case) -> Optional[str]:
+    """Exercise the supervisor's restart path on a store-backed fleet.
+
+    Solves once through the gateway, replaces the owning shard via the
+    same :meth:`Gateway._restart_shard` hook the supervisor calls, then
+    repeats the request: the answer must be bit-equal, must be served
+    from the replacement's re-warmed store (``served.store_hit``), and
+    the solver must not run again (counted via ``solve_fn``).
+    """
+    import asyncio
+    import os
+    import tempfile
+
+    from repro.api import SolveRequest, SolveResult, solve_k_bounded
+    from repro.gateway import Gateway, InlineShard
+
+    jobs, k = case.payload, case.params["k"]
+    request = SolveRequest(jobs=jobs, k=k)
+    solver_calls: list = []
+
+    def counting_solve(jobs_, k_, *, machines=1, method="auto", **kw):
+        solver_calls.append(jobs_.canonical_key())
+        return solve_k_bounded(jobs_, k_, machines=machines, method=method, **kw)
+
+    async def drive(root: str):
+        def factory(index: int):
+            # prewarm off so the post-restart repeat demonstrably comes
+            # off disk (served.store_hit) rather than a prewarmed LRU.
+            return InlineShard(
+                workers=1,
+                store_path=os.path.join(root, f"shard-{index:02d}"),
+                solve_fn=counting_solve,
+                prewarm=False,
+            )
+
+        # supervise=False: this oracle drives the restart hook directly,
+        # so a concurrent supervisor sweep mid-swap would only add noise.
+        gateway = Gateway(
+            shards=2, shard_factory=factory, batch_window_ms=0.0, supervise=False
+        )
+        await gateway.start()
+        try:
+            first = await gateway.handle_solve(request.to_wire())
+            owner = gateway.shard_for_canonical_key(request.canonical_key())
+            await gateway._restart_shard(owner)
+            second = await gateway.handle_solve(request.to_wire())
+        finally:
+            await gateway.stop()
+        return first, second
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-gwrestart-") as root:
+        (s1, p1, _), (s2, p2, _) = asyncio.run(drive(root))
+    for label, status, payload in (("pre-restart", s1, p1), ("post-restart", s2, p2)):
+        if status != 200:
+            return f"gateway {label} request failed: HTTP {status} {payload} (k={k})"
+    if p1["shard"] != p2["shard"]:
+        return (
+            f"restart changed the key's route: shard {p1['shard']} -> "
+            f"{p2['shard']} (k={k})"
+        )
+    before = SolveResult.from_wire(p1["result"])
+    after = SolveResult.from_wire(p2["result"])
+    if after.value != before.value or after.preemptions_used != before.preemptions_used:
+        return (
+            f"restarted shard diverges (k={k}): value {after.value} vs "
+            f"{before.value}, preemptions {after.preemptions_used} vs "
+            f"{before.preemptions_used}"
+        )
+    if len(solver_calls) != 1:
+        return (
+            f"restarted shard re-solved a persisted instance (k={k}): "
+            f"{len(solver_calls)} solver calls (want 1)"
+        )
+    if not after.metrics.get("served.store_hit"):
+        return (
+            f"post-restart answer is missing its served.store_hit flag (k={k}) — "
+            f"the replacement did not re-warm from its shard store"
+        )
+    return None
+
+
 # ---------------------------------------------------------------------------
 # forest-domain oracles
 # ---------------------------------------------------------------------------

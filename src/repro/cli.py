@@ -402,9 +402,16 @@ def _cmd_gateway_bench(args) -> int:
     worker processes, warms every corpus instance (verifying each response
     against a direct solve and each route against the shard hash), then
     fires Poisson arrivals at ``--rps`` for ``--duration`` seconds.
-    Reports p50/p99 latency, throughput and per-shard cache hit ratios;
+    Reports p50/p99 latency, throughput, per-shard cache hit ratios and
+    what keep-alive pooling buys the client (``client_pool.p50_speedup``);
     ``--max-p99-ms`` and the built-in zero-disagreement /
     per-shard-nonzero-hits gates set the exit status for CI.
+
+    ``--routing ring`` switches the fleet to consistent-hash routing (the
+    route oracle follows).  ``--chaos`` SIGKILLs one shard worker partway
+    through the timed phase and additionally gates on zero wrong answers,
+    zero unanswered requests, and supervisor recovery within
+    ``--max-recovery-ms``.
     """
     import json
 
@@ -418,6 +425,19 @@ def _cmd_gateway_bench(args) -> int:
     if args.shards < 1:
         print("repro-bench gateway-bench: error: --shards must be >= 1", file=sys.stderr)
         return 2
+    if args.chaos and args.inline:
+        print(
+            "repro-bench gateway-bench: error: --chaos needs process shards "
+            "(drop --inline)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chaos and args.shards < 2:
+        print(
+            "repro-bench gateway-bench: error: --chaos needs --shards >= 2",
+            file=sys.stderr,
+        )
+        return 2
     payload = run_gateway_bench(
         shards=args.shards,
         rps=args.rps,
@@ -427,6 +447,8 @@ def _cmd_gateway_bench(args) -> int:
         seed=args.seed,
         inline=args.inline,
         workers=args.workers,
+        routing=args.routing,
+        chaos=args.chaos,
     )
     print(
         f"gateway: {args.shards} shards, {payload['sent']} requests at "
@@ -439,6 +461,9 @@ def _cmd_gateway_bench(args) -> int:
         f"(429s {payload['rejected']}, errors {payload['errors']})"
     )
     for i, snap in enumerate(payload["per_shard"]):
+        if snap.get("down"):
+            print(f"shard {i}: DOWN")
+            continue
         total = max(1, snap["requests"])
         print(
             f"shard {i}: requests={snap['requests']} hits={snap['hits']} "
@@ -448,12 +473,39 @@ def _cmd_gateway_bench(args) -> int:
     gw = payload["gateway"]
     print(
         "gateway counters: "
-        + ", ".join(f"{name}={gw[name]}" for name in ("admitted", "rejected", "sharded", "quota_denied"))
+        + ", ".join(
+            f"{name}={gw[name]}"
+            for name in (
+                "admitted",
+                "rejected",
+                "sharded",
+                "quota_denied",
+                "shard_restarts",
+                "failovers",
+            )
+        )
+    )
+    pool = payload["client_pool"]
+    speedup = pool["p50_speedup"]
+    print(
+        f"client pool: fresh p50 {pool['fresh_p50_ms']:.3f} ms vs pooled p50 "
+        f"{pool['pooled_p50_ms']:.3f} ms "
+        f"({'x{:.2f}'.format(speedup) if speedup else 'n/a'}; "
+        f"{pool['created']} created, {pool['reused']} reused)"
     )
     print(
         f"oracle: disagreements={payload['disagreements']} "
         f"route_mismatches={payload['route_mismatches']}"
     )
+    if args.chaos:
+        ch = payload["chaos"]
+        recovery = ch["recovery_ms_max"]
+        print(
+            f"chaos: kills={ch['kills']} recovered={ch['recovered']} "
+            f"recovery_ms_max={recovery if recovery is None else format(recovery, '.0f')} "
+            f"retried_503={ch['retried_503']} unanswered={ch['unanswered']} "
+            f"wrong_answers={ch['wrong_answers']}"
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -465,13 +517,38 @@ def _cmd_gateway_bench(args) -> int:
         failures.append(f"{payload['route_mismatches']} shard-routing mismatches")
     if payload["errors"]:
         failures.append(f"{payload['errors']} transport/server errors")
-    zero_hit = [i for i, s in enumerate(payload["per_shard"]) if s["hits"] == 0]
+    zero_hit = [
+        i
+        for i, s in enumerate(payload["per_shard"])
+        if not s.get("down") and s["hits"] == 0
+    ]
     if zero_hit:
         failures.append(f"shards with zero cache hits: {zero_hit}")
     if args.max_p99_ms is not None and payload["p99_ms"] > args.max_p99_ms:
         failures.append(
             f"p99 {payload['p99_ms']:.1f} ms above SLO {args.max_p99_ms:.1f} ms"
         )
+    pool = payload["client_pool"]
+    if pool["p50_speedup"] is None or pool["p50_speedup"] <= 1.0:
+        failures.append(
+            f"keep-alive pool did not beat connect-per-request at p50 "
+            f"(fresh {pool['fresh_p50_ms']:.3f} ms, pooled {pool['pooled_p50_ms']:.3f} ms)"
+        )
+    if args.chaos:
+        ch = payload["chaos"]
+        if ch["kills"] < 1:
+            failures.append("chaos: no shard was killed")
+        if ch["wrong_answers"]:
+            failures.append(f"chaos: {ch['wrong_answers']} wrong answers")
+        if ch["unanswered"]:
+            failures.append(f"chaos: {ch['unanswered']} unanswered requests")
+        if not ch["recovered"]:
+            failures.append("chaos: fleet did not recover")
+        elif ch["recovery_ms_max"] is not None and ch["recovery_ms_max"] > args.max_recovery_ms:
+            failures.append(
+                f"chaos: recovery {ch['recovery_ms_max']:.0f} ms above "
+                f"--max-recovery-ms {args.max_recovery_ms:.0f}"
+            )
     if failures:
         for failure in failures:
             print(f"repro-bench gateway-bench: {failure}", file=sys.stderr)
@@ -613,6 +690,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     gateway_p.add_argument(
         "--max-p99-ms", type=float, default=None, metavar="MS",
         help="exit 1 if timed-phase p99 latency exceeds this SLO",
+    )
+    gateway_p.add_argument(
+        "--routing", choices=("mod", "ring"), default="mod",
+        help="shard routing: mod-N hash or consistent-hash ring",
+    )
+    gateway_p.add_argument(
+        "--chaos", action="store_true",
+        help="SIGKILL one shard worker mid-run; gate on zero wrong answers, "
+        "zero unanswered requests, and bounded recovery",
+    )
+    gateway_p.add_argument(
+        "--max-recovery-ms", type=float, default=5000.0, metavar="MS",
+        help="with --chaos: exit 1 if detection-to-recovery exceeds this",
     )
     gateway_p.add_argument(
         "--out", default=None, metavar="PATH", help="write the bench JSON payload"

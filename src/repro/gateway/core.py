@@ -39,14 +39,23 @@ import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import WIRE_FORMAT, SolveRequest
-from repro.gateway.routing import QuotaManager, shard_for_key
+from repro.gateway.routing import HashRing, QuotaManager, ring_movement, shard_for_key
 from repro.gateway.shard import ProcessShard, ShardError
+from repro.gateway.supervisor import ShardSupervisor
 from repro.obs.tracer import current_tracer
 from repro.serve.service import ServiceStats
 
 __all__ = ["Gateway"]
 
-_COUNTERS = ("admitted", "rejected", "sharded", "quota_denied")
+_COUNTERS = (
+    "admitted",
+    "rejected",
+    "sharded",
+    "quota_denied",
+    "shard_restarts",
+    "failovers",
+    "ring_moves",
+)
 
 
 def _retry_after_headers(seconds: float) -> Dict[str, str]:
@@ -146,6 +155,12 @@ class Gateway:
         batch_window_ms: float = 5.0,
         batch_max: int = 16,
         saturation_retry_after_s: float = 1.0,
+        routing: str = "mod",
+        ring_vnodes: int = 64,
+        supervise: bool = True,
+        supervisor_kwargs: Optional[Dict[str, Any]] = None,
+        failover_retry_s: float = 3.0,
+        failover_retry_after_s: float = 1.0,
         store_dir: Optional[str] = None,
         service_kwargs: Optional[Dict[str, Any]] = None,
         shard_factory=None,
@@ -162,6 +177,12 @@ class Gateway:
             raise ValueError(
                 f"saturation_retry_after_s must be > 0, got {saturation_retry_after_s}"
             )
+        if routing not in ("mod", "ring"):
+            raise ValueError(f"routing must be 'mod' or 'ring', got {routing!r}")
+        if failover_retry_s < 0:
+            raise ValueError(
+                f"failover_retry_s must be >= 0, got {failover_retry_s}"
+            )
         if store_dir is not None and shard_factory is not None:
             raise TypeError(
                 "store_dir only applies to the default shard factory — "
@@ -172,6 +193,13 @@ class Gateway:
         self._port = port
         self._max_inflight = max_inflight_per_shard
         self._saturation_retry_after_s = saturation_retry_after_s
+        self._routing = routing
+        self._ring_vnodes = ring_vnodes
+        self._ring: Optional[HashRing] = (
+            HashRing(shards, vnodes=ring_vnodes) if routing == "ring" else None
+        )
+        self._failover_retry_s = failover_retry_s
+        self._failover_retry_after_s = failover_retry_after_s
         quota_kwargs = {} if clock is None else {"clock": clock}
         self._quota = QuotaManager(quota_rate, quota_burst, **quota_kwargs)
         self._batch_window_ms = batch_window_ms
@@ -190,7 +218,13 @@ class Gateway:
         self._shards: List[Any] = []
         self._batchers: List[_ShardBatcher] = []
         self._inflight: List[int] = []
+        self._down: List[bool] = []
+        self._recovered: List[asyncio.Event] = []
+        self._generation: List[int] = []
         self._server: Optional[asyncio.AbstractServer] = None
+        self.supervisor: Optional[ShardSupervisor] = (
+            ShardSupervisor(self, **(supervisor_kwargs or {})) if supervise else None
+        )
         self.counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
 
     # -- lifecycle ------------------------------------------------------------
@@ -205,7 +239,7 @@ class Gateway:
         return self._n_shards
 
     async def start(self) -> None:
-        """Start the shard fleet, then the HTTP server."""
+        """Start the shard fleet, the supervisor, then the HTTP server."""
         for index in range(self._n_shards):
             shard = self._shard_factory(index)
             await shard.start()
@@ -214,13 +248,22 @@ class Gateway:
                 _ShardBatcher(shard, self._batch_window_ms, self._batch_max)
             )
             self._inflight.append(0)
+            self._down.append(False)
+            self._generation.append(0)
+            event = asyncio.Event()
+            event.set()
+            self._recovered.append(event)
+        if self.supervisor is not None:
+            self.supervisor.start()
         self._server = await asyncio.start_server(
             self._handle_conn, self._host, self._port
         )
         self._port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting connections, then stop every shard."""
+        """Stop supervision and connections, then stop every shard."""
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -230,6 +273,9 @@ class Gateway:
         self._shards = []
         self._batchers = []
         self._inflight = []
+        self._down = []
+        self._recovered = []
+        self._generation = []
 
     async def __aenter__(self) -> "Gateway":
         await self.start()
@@ -238,16 +284,181 @@ class Gateway:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
-    def _count(self, name: str) -> None:
-        self.counters[name] += 1
+    def _count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] += delta
         if self._tracer is not None:
-            self._tracer.count(f"gateway.{name}")
+            self._tracer.count(f"gateway.{name}", delta)
+
+    # -- supervision hooks -----------------------------------------------------
+
+    def _mark_down(self, index: int) -> None:
+        """Supervisor callback: shard ``index`` failed; divert its requests."""
+        if not self._down[index]:
+            self._down[index] = True
+            self._recovered[index].clear()
+
+    def _mark_up(self, index: int, incident=None) -> None:
+        """Supervisor callback: shard ``index`` restarted and answers pings."""
+        self._count("shard_restarts")
+        self._down[index] = False
+        self._recovered[index].set()
+        if self._tracer is not None and incident is not None:
+            with self._tracer.span(
+                "gateway.supervise",
+                shard=index,
+                reason=incident.reason,
+                attempts=incident.attempts,
+                recovery_ms=incident.recovery_ms,
+            ):
+                pass
+
+    async def _restart_shard(self, index: int) -> None:
+        """Tear down and rebuild one shard (supervisor restart path).
+
+        The old shard is stopped best-effort (it may already be a
+        corpse); the replacement comes from the same factory that built
+        it — including its ``store_path``, so a store-backed shard
+        prewarms from disk.  The batcher is rebound so queued windows
+        drain into the new worker.
+        """
+        old = self._shards[index]
+        try:
+            await old.stop()
+        except Exception:
+            pass
+        shard = self._shard_factory(index)
+        await shard.start()
+        self._shards[index] = shard
+        self._batchers[index] = _ShardBatcher(
+            shard, self._batch_window_ms, self._batch_max
+        )
+        self._generation[index] += 1
+
+    async def _await_recovery(self, index: int, generation: Optional[int] = None) -> bool:
+        """Bounded wait for a down shard; True once it is serving again.
+
+        With ``generation`` given (the value of ``self._generation[index]``
+        captured *before* the failed dispatch), waits until the shard has
+        actually been replaced — a connection error can race ahead of the
+        supervisor's detection sweep, so "not currently marked down" is
+        not yet proof of recovery.
+        """
+        if self._failover_retry_s <= 0:
+            return not self._down[index]
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self._failover_retry_s
+        while True:
+            if not self._down[index] and (
+                generation is None or self._generation[index] > generation
+            ):
+                return True
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            if self._down[index]:
+                try:
+                    await asyncio.wait_for(
+                        self._recovered[index].wait(), min(remaining, 0.05)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                # Failure seen but not yet detected by the supervisor:
+                # poll until detection flips the flag or the window closes.
+                await asyncio.sleep(min(remaining, 0.02))
+
+    def _unavailable(self, shard_index: int) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        return (
+            503,
+            {"error": "shard restarting", "shard": shard_index},
+            _retry_after_headers(self._failover_retry_after_s),
+        )
 
     # -- request routing ------------------------------------------------------
 
+    @property
+    def routing(self) -> str:
+        return self._routing
+
     def shard_for(self, request: SolveRequest) -> int:
         """The shard index that will serve this request (deterministic)."""
-        return shard_for_key(request.canonical_key(), self._n_shards)
+        return self.shard_for_canonical_key(request.canonical_key())
+
+    def shard_for_canonical_key(self, canonical_key: str) -> int:
+        if self._ring is not None:
+            return self._ring.shard_for(canonical_key)
+        return shard_for_key(canonical_key, self._n_shards)
+
+    async def reshard(self, new_shards: int) -> Dict[str, Any]:
+        """Grow or shrink the live fleet to ``new_shards`` shards.
+
+        Under ``routing="ring"`` only the key arcs captured (or released)
+        by the changed shard move — ``gateway.ring_moves`` counts the
+        relocated virtual-node arcs and the returned report carries the
+        exact ``moved_fraction`` of the key space.  Under ``routing="mod"``
+        nearly the whole key space relocates; the report says so honestly
+        (``moved_fraction`` is None — mod-N gives no movement bound).
+
+        New shards come from the same factory (so ``store_dir`` fleets
+        mount ``shard-NN`` stores for the new indices); removed shards
+        are stopped after their index is routed away from.
+        """
+        if new_shards < 1:
+            raise ValueError(f"shards must be >= 1, got {new_shards}")
+        old_n = self._n_shards
+        if new_shards == old_n:
+            return {"shards": old_n, "moved_arcs": 0, "moved_fraction": 0.0}
+        # Grow: start the new shards before routing to them.
+        for index in range(old_n, new_shards):
+            shard = self._shard_factory(index)
+            await shard.start()
+            self._shards.append(shard)
+            self._batchers.append(
+                _ShardBatcher(shard, self._batch_window_ms, self._batch_max)
+            )
+            self._inflight.append(0)
+            self._down.append(False)
+            self._generation.append(0)
+            event = asyncio.Event()
+            event.set()
+            self._recovered.append(event)
+        moved_arcs = 0
+        moved_fraction: Optional[float] = None
+        if self._ring is not None:
+            new_ring = HashRing(new_shards, vnodes=self._ring_vnodes)
+            moved_arcs, moved_fraction = ring_movement(self._ring, new_ring)
+            self._ring = new_ring
+            if moved_arcs:
+                self._count("ring_moves", moved_arcs)
+        self._n_shards = new_shards
+        # Shrink: routing no longer reaches the dropped indices; stop them.
+        if new_shards < old_n:
+            dropped = self._shards[new_shards:]
+            del self._shards[new_shards:]
+            del self._batchers[new_shards:]
+            del self._inflight[new_shards:]
+            del self._down[new_shards:]
+            del self._recovered[new_shards:]
+            del self._generation[new_shards:]
+            for shard in dropped:
+                try:
+                    await shard.stop()
+                except Exception:
+                    pass
+        return {
+            "shards": new_shards,
+            "moved_arcs": moved_arcs,
+            "moved_fraction": moved_fraction,
+        }
+
+    async def _dispatch(
+        self, shard_index: int, request: SolveRequest, doc: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Ship one admitted request to its shard (batched unless deadlined)."""
+        if request.deadline_ms is not None:
+            reply = await self._shards[shard_index].call("solve", request=doc)
+            return reply["result"]
+        return await self._batchers[shard_index].submit(doc)
 
     async def handle_solve(
         self, doc: Dict[str, Any], tenant: str = "default"
@@ -282,14 +493,33 @@ class Gateway:
         self._count("admitted")
         self._inflight[shard_index] += 1
         try:
-            if request.deadline_ms is not None:
-                reply = await self._shards[shard_index].call("solve", request=doc)
-                result_doc = reply["result"]
-            else:
-                result_doc = await self._batchers[shard_index].submit(doc)
-        except ShardError as exc:
-            status = 400 if exc.is_client_error else 502
-            return status, {"error": str(exc), "shard": shard_index}, {}
+            if self._down[shard_index]:
+                # The supervisor is restarting this shard: hold the request
+                # for a bounded window instead of failing it outright.
+                self._count("failovers")
+                if not await self._await_recovery(shard_index):
+                    return self._unavailable(shard_index)
+            generation = self._generation[shard_index]
+            try:
+                result_doc = await self._dispatch(shard_index, request, doc)
+            except ShardError as exc:
+                if exc.is_client_error:
+                    return 400, {"error": str(exc), "shard": shard_index}, {}
+                if exc.etype != "ConnectionError":
+                    return 502, {"error": str(exc), "shard": shard_index}, {}
+                # The shard died mid-flight.  One bounded in-gateway retry
+                # against the *restarted* worker (the generation guard keeps
+                # the retry from racing ahead of the supervisor); a clean
+                # 503 + Retry-After if recovery misses the window.
+                self._count("failovers")
+                if not await self._await_recovery(shard_index, generation):
+                    return self._unavailable(shard_index)
+                try:
+                    result_doc = await self._dispatch(shard_index, request, doc)
+                except ShardError as retry_exc:
+                    if retry_exc.is_client_error:
+                        return 400, {"error": str(retry_exc), "shard": shard_index}, {}
+                    return self._unavailable(shard_index)
         finally:
             self._inflight[shard_index] -= 1
         return (
@@ -304,22 +534,43 @@ class Gateway:
         )
 
     async def fleet_stats(self) -> Dict[str, Any]:
-        """Aggregated fleet stats plus the gateway's own counters."""
-        per_shard = []
-        for shard in self._shards:
-            reply = await shard.call("stats")
+        """Aggregated fleet stats plus the gateway's own counters.
+
+        A shard that is down (or dies under the stats probe) reports
+        ``{"down": true}`` instead of failing the whole endpoint — the
+        stats surface must stay readable exactly when the fleet is
+        degraded and someone is looking at it.
+        """
+        per_shard: List[Dict[str, Any]] = []
+        healthy: List[ServiceStats] = []
+        for index, shard in enumerate(self._shards):
+            if self._down[index]:
+                per_shard.append({"down": True})
+                continue
+            try:
+                # Bounded: a wedged worker that still accepts writes must
+                # not hang the stats surface (the supervisor will declare
+                # it down shortly; until then it just reads as down here).
+                reply = await asyncio.wait_for(shard.call("stats"), 5.0)
+            except (ShardError, asyncio.TimeoutError):
+                per_shard.append({"down": True})
+                continue
             per_shard.append(reply["stats"])
-        total = ServiceStats.aggregate(
-            ServiceStats(**snap) for snap in per_shard
-        )
-        return {
+            healthy.append(ServiceStats(**reply["stats"]))
+        total = ServiceStats.aggregate(healthy)
+        payload = {
             "format": WIRE_FORMAT,
             "kind": "gateway_stats",
+            "routing": self._routing,
             "shards": per_shard,
             "fleet": total.as_dict(),
             "gateway": dict(self.counters),
             "inflight": list(self._inflight),
+            "down": list(self._down),
         }
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.status()
+        return payload
 
     # -- the HTTP layer -------------------------------------------------------
 
@@ -375,12 +626,18 @@ class Gateway:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
-        finally:
+        except asyncio.CancelledError:
+            # Shutdown with the connection parked between keep-alive
+            # requests: close without awaiting (the loop may be tearing
+            # down) and swallow the cancellation so asyncio's stream
+            # callback doesn't log it as an unhandled error.
             writer.close()
-            try:
-                await writer.wait_closed()
-            except ConnectionError:
-                pass
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
 
 
 _STATUS_TEXT = {

@@ -8,16 +8,40 @@ re-typed copies of an instance therefore always hit the same shard, and
 that shard's cache, so the fleet behaves like one big cache partitioned
 by key space (no cross-shard duplication of hot entries).
 
+Two routing modes share that key space:
+
+* **mod** (:func:`shard_for_key`) — the first 64 bits of the hex digest
+  modulo the shard count.  Perfectly balanced, but growing the fleet
+  from N to N+1 shards relocates ~N/(N+1) of all keys (a full cache
+  flush);
+* **ring** (:class:`HashRing` / :func:`ring_shard_for_key`) — a
+  consistent-hash ring of virtual nodes: each shard owns ``vnodes``
+  pseudo-random points on the 64-bit circle (SHA-256 of
+  ``repro-ring/<shard>/<vnode>``, so placement is deterministic across
+  processes and runs), and a key belongs to the first point at or after
+  its own 64-bit position.  Adding a shard moves only the arcs the new
+  shard's points capture — ~1/(N+1) of the key space — so a fleet can
+  grow without flushing every shard's cache.
+
 Quotas are classic token buckets, one per tenant, with an injectable
 clock so tests never sleep.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["shard_for_key", "TokenBucket", "QuotaManager"]
+__all__ = [
+    "shard_for_key",
+    "ring_shard_for_key",
+    "HashRing",
+    "ring_movement",
+    "TokenBucket",
+    "QuotaManager",
+]
 
 
 def shard_for_key(canonical_key: str, shards: int) -> int:
@@ -32,6 +56,92 @@ def shard_for_key(canonical_key: str, shards: int) -> int:
     if len(canonical_key) < 16:
         raise ValueError(f"canonical key too short: {canonical_key!r}")
     return int(canonical_key[:16], 16) % shards
+
+
+_RING_SPACE = 1 << 64
+
+
+def _key_point(canonical_key: str) -> int:
+    """A key's position on the 64-bit ring: the same prefix mod-N uses."""
+    if len(canonical_key) < 16:
+        raise ValueError(f"canonical key too short: {canonical_key!r}")
+    return int(canonical_key[:16], 16)
+
+
+def _vnode_point(shard: int, vnode: int) -> int:
+    """A virtual node's ring position — SHA-256, never ``hash()``, so the
+    ring is identical in every process regardless of PYTHONHASHSEED."""
+    digest = hashlib.sha256(f"repro-ring/{shard}/{vnode}".encode()).hexdigest()
+    return int(digest[:16], 16)
+
+
+class HashRing:
+    """A consistent-hash ring: ``shards`` owners × ``vnodes`` points each.
+
+    Lookup is a bisect over the sorted point list (ties broken by shard
+    index through tuple ordering, deterministically).  The ring for a
+    given ``(shards, vnodes)`` pair is a pure function of those two
+    integers — no state, no randomness — so every gateway, test and
+    client-side router that builds one agrees on every assignment.
+    """
+
+    def __init__(self, shards: int, *, vnodes: int = 64):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = [
+            (_vnode_point(s, v), s) for s in range(shards) for v in range(vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _ in points]
+
+    def shard_for(self, canonical_key: str) -> int:
+        """The shard owning ``canonical_key``: first vnode at/after its point."""
+        return self.owner_of_point(_key_point(canonical_key))
+
+    def owner_of_point(self, point: int) -> int:
+        index = bisect.bisect_left(self._positions, point % _RING_SPACE)
+        if index == len(self._points):  # wrap past the last vnode
+            index = 0
+        return self._points[index][1]
+
+
+def ring_shard_for_key(canonical_key: str, shards: int, *, vnodes: int = 64) -> int:
+    """Consistent-hash routing for one key (builds a throwaway ring —
+    callers on a hot path should hold a :class:`HashRing` instead)."""
+    return HashRing(shards, vnodes=vnodes).shard_for(canonical_key)
+
+
+def ring_movement(old: HashRing, new: HashRing) -> Tuple[int, float]:
+    """How much of the key space changes owner between two rings.
+
+    Returns ``(moved_arcs, moved_fraction)`` computed *exactly* by
+    sweeping the merged elementary arcs of both rings — no key sampling,
+    so reshard accounting is deterministic.  ``moved_fraction`` is the
+    probability a uniformly random key relocates; for a grow from N to
+    N+1 shards it concentrates near ``1/(N+1)``.
+    """
+    boundaries = sorted(
+        {p % _RING_SPACE for p in old._positions} | {p % _RING_SPACE for p in new._positions}
+    )
+    if not boundaries:
+        return 0, 0.0
+    moved_arcs = 0
+    moved_length = 0
+    for i, start in enumerate(boundaries):
+        end = boundaries[i + 1] if i + 1 < len(boundaries) else boundaries[0] + _RING_SPACE
+        if end == start:
+            continue
+        # Owners are constant on (start, end): probe just past the arc start.
+        probe = (start + 1) % _RING_SPACE
+        if old.owner_of_point(probe) != new.owner_of_point(probe):
+            moved_arcs += 1
+            moved_length += end - start
+    return moved_arcs, moved_length / _RING_SPACE
 
 
 class TokenBucket:

@@ -154,7 +154,16 @@ def _shard_main(conn, service_kwargs: Dict[str, Any]) -> None:
 
 
 class ShardLink:
-    """One NDJSON connection to a shard, multiplexed by message id."""
+    """One NDJSON connection to a shard, multiplexed by message id.
+
+    The link tracks its own liveness: when the read loop exits — the
+    shard died, closed the socket, or sent garbage — the link flips to
+    *closed* and every subsequent :meth:`call` fails fast with
+    ``ShardError("shard connection closed")`` instead of writing into a
+    dead socket (which used to hang forever on a reply that could never
+    arrive, or leak a raw :class:`ConnectionResetError`).  The
+    supervisor polls :attr:`closed` as a zero-cost health signal.
+    """
 
     def __init__(self, host: str, port: int):
         self._host = host
@@ -165,11 +174,18 @@ class ShardLink:
         self._next_id = 0
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once the read loop has exited (no reply can ever arrive)."""
+        return self._closed
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
             self._host, self._port
         )
+        self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     async def _read_loop(self) -> None:
@@ -186,6 +202,7 @@ class ShardLink:
         except (ConnectionError, json.JSONDecodeError):
             pass
         finally:
+            self._closed = True
             for fut in self._pending.values():
                 if not fut.done():
                     fut.set_exception(
@@ -197,14 +214,23 @@ class ShardLink:
         """Send one op; await and unwrap its reply (raises :class:`ShardError`)."""
         if self._writer is None:
             raise ShardError("shard link not connected", "ConnectionError")
+        if self._closed:
+            raise ShardError("shard connection closed", "ConnectionError")
         self._next_id += 1
         msg_id = self._next_id
         fut: "asyncio.Future[Dict[str, Any]]" = asyncio.get_event_loop().create_future()
         self._pending[msg_id] = fut
         msg = {"id": msg_id, "op": op, **payload}
-        async with self._write_lock:
-            self._writer.write(json.dumps(msg).encode() + b"\n")
-            await self._writer.drain()
+        try:
+            async with self._write_lock:
+                self._writer.write(json.dumps(msg).encode() + b"\n")
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(msg_id, None)
+            self._closed = True
+            raise ShardError(
+                f"shard connection closed ({exc})", "ConnectionError"
+            ) from exc
         reply = await fut
         if not reply.get("ok"):
             raise ShardError(
@@ -212,7 +238,16 @@ class ShardLink:
             )
         return reply
 
+    def abort(self) -> None:
+        """Drop the transport immediately (chaos: a snapped network link)."""
+        if self._writer is not None:
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+        self._closed = True
+
     async def close(self) -> None:
+        self._closed = True
         if self._reader_task is not None:
             self._reader_task.cancel()
         if self._writer is not None:
@@ -238,6 +273,9 @@ class InlineShard:
     async def start(self) -> None:  # symmetry with ProcessShard
         return None
 
+    def is_alive(self) -> bool:  # symmetry with ProcessShard
+        return True
+
     async def call(self, op: str, **payload) -> Dict[str, Any]:
         reply = await _safe_handle_op(self._svc, {"op": op, **payload})
         if not reply.get("ok"):
@@ -251,13 +289,39 @@ class InlineShard:
 
 
 class ProcessShard:
-    """A shard worker in its own process, reached over a :class:`ShardLink`."""
+    """A shard worker in its own process, reached over a :class:`ShardLink`.
+
+    :meth:`start` is re-entrant after :meth:`stop`: every start forks a
+    fresh worker and opens a fresh link, which is what the supervisor's
+    restart path relies on.  A shard built with ``store_path`` in its
+    ``service_kwargs`` re-warms its cache from that store on every
+    start, so a supervised restart recovers its hot set from disk
+    instead of recomputing it.
+    """
 
     def __init__(self, service_kwargs: Optional[Dict[str, Any]] = None):
         self._service_kwargs = dict(service_kwargs or {})
         self._proc: Optional[multiprocessing.Process] = None
         self._link: Optional[ShardLink] = None
         self.port: Optional[int] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The worker's OS pid (chaos harnesses SIGKILL it directly)."""
+        return self._proc.pid if self._proc is not None else None
+
+    @property
+    def link(self) -> Optional[ShardLink]:
+        return self._link
+
+    def is_alive(self) -> bool:
+        """Process-level liveness: the strongest (and cheapest) health signal."""
+        return self._proc is not None and self._proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (fault injection only — no cleanup)."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.kill()
 
     async def start(self) -> None:
         try:
@@ -273,9 +337,20 @@ class ProcessShard:
         )
         self._proc.start()
         child_conn.close()
-        if not parent_conn.poll(30):
-            self._proc.terminate()
-            raise RuntimeError("shard worker did not report its port within 30s")
+        # Poll without blocking: a supervised restart runs on the gateway's
+        # own event loop, so a synchronous 30s pipe wait here would freeze
+        # every in-flight request for the duration.
+        deadline = asyncio.get_event_loop().time() + 30.0
+        while not parent_conn.poll(0):
+            if (
+                asyncio.get_event_loop().time() >= deadline
+                or not self._proc.is_alive()
+            ):
+                parent_conn.close()
+                self._reap(self._proc)
+                self._proc = None
+                raise RuntimeError("shard worker did not report its port")
+            await asyncio.sleep(0.01)
         self.port = parent_conn.recv()
         parent_conn.close()
         self._link = ShardLink("127.0.0.1", self.port)
@@ -289,14 +364,26 @@ class ProcessShard:
     async def stop(self) -> None:
         if self._link is not None:
             try:
-                await self._link.call("shutdown")
-            except ShardError:
+                # Bounded: a wedged-but-connected worker (e.g. a fork that
+                # deadlocked on an inherited lock) accepts the write but
+                # never replies — an unbounded await here wedges the whole
+                # gateway teardown with it.
+                await asyncio.wait_for(self._link.call("shutdown"), 2.0)
+            except (ShardError, asyncio.TimeoutError):
                 pass
             await self._link.close()
             self._link = None
         if self._proc is not None:
-            self._proc.join(timeout=10)
-            if self._proc.is_alive():  # pragma: no cover - hung worker
-                self._proc.terminate()
-                self._proc.join(timeout=5)
+            self._reap(self._proc)
             self._proc = None
+
+    @staticmethod
+    def _reap(proc: multiprocessing.Process) -> None:
+        """Wait briefly for a clean exit, then escalate SIGTERM → SIGKILL."""
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2)
+        if proc.is_alive():  # pragma: no cover - ignores SIGTERM
+            proc.kill()
+            proc.join(timeout=2)

@@ -40,10 +40,31 @@ __all__ = ["KNOWN_FAULTS", "active_faults", "inject", "is_active"]
 #: absorb this as extra cold solves (degraded throughput, hit counter
 #: pinned at zero) without deadlocking or erroring — proven in
 #: ``tests/test_failure_injection.py``.
+#:
+#: ``gateway.kill_shard`` — the gateway supervisor SIGKILLs one live
+#: shard worker process (once per arming), simulating an OOM-killed or
+#: crashed worker.  The supervisor must detect the death, restart the
+#: shard with backoff, and no client may receive a wrong answer —
+#: proven in ``tests/test_gateway_chaos.py`` and gated by
+#: ``repro gateway-bench --chaos``.
+#:
+#: ``gateway.drop_link`` — the supervisor snaps one shard's NDJSON
+#: socket (transport abort, once per arming), simulating a network
+#: partition between gateway and a healthy worker.  In-flight requests
+#: on that link fail over to the bounded-retry path while the link is
+#: re-established via restart.
+#:
+#: ``gateway.slow_ping`` — every supervisor health probe is delayed past
+#: its timeout for as long as the fault stays armed, simulating a
+#: wedged-but-alive worker; after ``max_ping_failures`` consecutive
+#: misses the shard is declared down and restarted.
 KNOWN_FAULTS: FrozenSet[str] = frozenset(
     {
         "tm.loop.topk-order",
         "serve.drop_cache_entry",
+        "gateway.kill_shard",
+        "gateway.drop_link",
+        "gateway.slow_ping",
     }
 )
 

@@ -15,13 +15,21 @@ import pytest
 from repro.api import SolveRequest, SolveResult, solve_k_bounded
 from repro.gateway import (
     Gateway,
+    HashRing,
     InlineShard,
     QuotaManager,
     ShardError,
+    ShardLink,
     TokenBucket,
+    ring_shard_for_key,
     shard_for_key,
 )
-from repro.gateway.bench import _http_json, _http_json_full, run_gateway_bench
+from repro.gateway.bench import (
+    ConnectionPool,
+    _http_json,
+    _http_json_full,
+    run_gateway_bench,
+)
 from repro.instances import random_jobs
 
 
@@ -433,6 +441,10 @@ class TestGatewayInline:
         assert payload["shard"] == shard_for_key(req.canonical_key(), 2)
         assert tenant[0] == 200
         assert stats[0] == 200 and stats[1]["fleet"]["requests"] == 2
+        for counter in ("shard_restarts", "failovers", "ring_moves"):
+            assert stats[1]["gateway"][counter] == 0  # present from day one
+        assert stats[1]["routing"] == "mod"
+        assert stats[1]["supervisor"]["running"] is True
         assert health == (200, {"status": "ok", "shards": 2})
         assert missing[0] == 404
         assert bad_json[0] == 400
@@ -513,3 +525,344 @@ class TestGatewayBench:
         assert all(s["hits"] > 0 for s in payload["per_shard"])
         assert payload["gateway"]["admitted"] > 0
         assert payload["gateway"]["quota_denied"] == 0
+        assert payload["client_pool"]["reused"] > 0
+
+
+# ---------------------------------------------------------------------------
+# closed shard links (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestShardLinkClosed:
+    def test_call_after_read_loop_exit_fails_fast(self):
+        """Regression: a call into a link whose read loop had exited used
+        to write into the dead socket and await a reply that could never
+        arrive (hanging forever); it must fail fast with ShardError."""
+
+        async def scenario():
+            async def hang_up(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(hang_up, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            link = ShardLink("127.0.0.1", port)
+            await link.connect()
+            for _ in range(200):
+                if link.closed:
+                    break
+                await asyncio.sleep(0.01)
+            assert link.closed
+            loop = asyncio.get_event_loop()
+            t0 = loop.time()
+            with pytest.raises(ShardError, match="shard connection closed"):
+                await asyncio.wait_for(link.call("ping"), 2.0)
+            assert loop.time() - t0 < 1.0  # fail-fast, not a timeout
+            await link.close()
+            server.close()
+            await server.wait_closed()
+
+        _run(scenario())
+
+    def test_inflight_call_fails_when_connection_drops(self):
+        async def scenario():
+            async def read_then_abort(reader, writer):
+                await reader.readline()
+                writer.transport.abort()
+
+            server = await asyncio.start_server(read_then_abort, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            link = ShardLink("127.0.0.1", port)
+            await link.connect()
+            with pytest.raises(ShardError, match="shard connection closed"):
+                await asyncio.wait_for(link.call("ping"), 2.0)
+            assert link.closed
+            # every later call fails fast the same way
+            with pytest.raises(ShardError, match="shard connection closed"):
+                await link.call("ping")
+            await link.close()
+            server.close()
+            await server.wait_closed()
+
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# consistent-hash ring routing + live resharding
+# ---------------------------------------------------------------------------
+
+
+class TestRingRouting:
+    def test_ring_gateway_routes_per_hash_ring(self):
+        ring = HashRing(3)
+
+        async def scenario():
+            gateway = Gateway(
+                shards=3,
+                routing="ring",
+                shard_factory=_inline_factory(),
+                batch_window_ms=0.0,
+            )
+            async with gateway:
+                answers = []
+                for req in _requests(6):
+                    status, payload, _ = await gateway.handle_solve(req.to_wire())
+                    answers.append((req, status, payload))
+                stats = await gateway.fleet_stats()
+            return answers, stats
+
+        answers, stats = _run(scenario())
+        for req, status, payload in answers:
+            assert status == 200
+            assert payload["shard"] == ring.shard_for(req.canonical_key())
+            served = SolveResult.from_wire(payload["result"])
+            assert served.value == solve_k_bounded(req.jobs, k=req.k).value
+        assert stats["routing"] == "ring"
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ValueError):
+            Gateway(shards=2, routing="rendezvous")
+
+    def test_reshard_grow_moves_bounded_fraction_and_keeps_answers(self):
+        reqs = _requests(8, seed=300)
+
+        async def scenario():
+            gateway = Gateway(
+                shards=2,
+                routing="ring",
+                shard_factory=_inline_factory(),
+                batch_window_ms=0.0,
+            )
+            async with gateway:
+                before = [await gateway.handle_solve(r.to_wire()) for r in reqs]
+                report = await gateway.reshard(3)
+                after = [await gateway.handle_solve(r.to_wire()) for r in reqs]
+                stats = await gateway.fleet_stats()
+            return before, report, after, stats
+
+        before, report, after, stats = _run(scenario())
+        assert report["shards"] == 3
+        # Consistent hashing: growing 2 -> 3 relocates about 1/3 of the
+        # key space, never the ~2/3 mod-N would.
+        assert 0.0 < report["moved_fraction"] <= 0.5
+        assert report["moved_arcs"] > 0
+        assert stats["gateway"]["ring_moves"] == report["moved_arcs"]
+        assert len(stats["shards"]) == 3
+        ring3 = HashRing(3)
+        for req, (s1, p1, _), (s2, p2, _) in zip(reqs, before, after):
+            assert s1 == 200 and s2 == 200
+            assert p2["shard"] == ring3.shard_for(req.canonical_key())
+            assert (
+                SolveResult.from_wire(p2["result"]).value
+                == SolveResult.from_wire(p1["result"]).value
+            )
+
+    def test_reshard_under_mod_reports_no_movement_bound(self):
+        reqs = _requests(4, seed=320)
+
+        async def scenario():
+            gateway = Gateway(
+                shards=2, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                report = await gateway.reshard(3)
+                answers = [await gateway.handle_solve(r.to_wire()) for r in reqs]
+            return report, answers
+
+        report, answers = _run(scenario())
+        assert report["shards"] == 3
+        assert report["moved_fraction"] is None  # mod-N gives no bound
+        for req, (status, payload, _) in zip(reqs, answers):
+            assert status == 200
+            assert payload["shard"] == shard_for_key(req.canonical_key(), 3)
+
+    def test_reshard_shrink_keeps_answers(self):
+        reqs = _requests(6, seed=340)
+
+        async def scenario():
+            gateway = Gateway(
+                shards=3,
+                routing="ring",
+                shard_factory=_inline_factory(),
+                batch_window_ms=0.0,
+            )
+            async with gateway:
+                report = await gateway.reshard(2)
+                answers = [await gateway.handle_solve(r.to_wire()) for r in reqs]
+            return report, answers
+
+        report, answers = _run(scenario())
+        assert report["shards"] == 2
+        ring2 = HashRing(2)
+        for req, (status, payload, _) in zip(reqs, answers):
+            assert status == 200
+            assert payload["shard"] == ring2.shard_for(req.canonical_key())
+            served = SolveResult.from_wire(payload["result"])
+            assert served.value == solve_k_bounded(req.jobs, k=req.k).value
+
+
+# ---------------------------------------------------------------------------
+# supervision (inline, deterministic)
+# ---------------------------------------------------------------------------
+
+
+class _MortalShard(InlineShard):
+    """Inline shard with a kill switch, standing in for a dead process."""
+
+    def __init__(self, **service_kwargs):
+        super().__init__(**service_kwargs)
+        self.dead = False
+
+    def is_alive(self):
+        return not self.dead
+
+    async def call(self, op, **payload):
+        if self.dead:
+            raise ShardError("shard connection closed", "ConnectionError")
+        return await super().call(op, **payload)
+
+
+_FAST_SUPERVISOR = dict(
+    interval_s=0.05, ping_timeout_s=0.5, backoff_base_s=0.01, backoff_max_s=0.05
+)
+
+
+class TestSupervisor:
+    def test_dead_shard_is_detected_restarted_and_counted(self):
+        req = _requests(1, seed=400)[0]
+
+        async def scenario():
+            gateway = Gateway(
+                shards=2,
+                shard_factory=lambda index: _MortalShard(workers=1),
+                batch_window_ms=0.0,
+                supervisor_kwargs=_FAST_SUPERVISOR,
+            )
+            async with gateway:
+                owner = gateway.shard_for(req)
+                first = await gateway.handle_solve(req.to_wire())
+                victim = gateway._shards[owner]
+                victim.dead = True
+                for _ in range(200):
+                    if gateway.counters["shard_restarts"] >= 1:
+                        break
+                    await asyncio.sleep(0.02)
+                second = await gateway.handle_solve(req.to_wire())
+                stats = await gateway.fleet_stats()
+                replaced = gateway._shards[owner] is not victim
+            return first, second, stats, replaced
+
+        (s1, p1, _), (s2, p2, _), stats, replaced = _run(scenario())
+        assert s1 == 200 and s2 == 200
+        assert replaced
+        assert (
+            SolveResult.from_wire(p2["result"]).value
+            == SolveResult.from_wire(p1["result"]).value
+        )
+        assert stats["gateway"]["shard_restarts"] == 1
+        incidents = stats["supervisor"]["incidents"]
+        assert len(incidents) == 1
+        assert incidents[0]["reason"] == "process died"
+        assert incidents[0]["recovered"] is True
+        assert incidents[0]["recovery_ms"] > 0
+        assert stats["down"] == [False, False]
+
+    def test_unrecoverable_shard_yields_503_with_retry_after(self):
+        req = _requests(1, seed=420)[0]
+        built = []
+
+        async def scenario():
+            def factory(index):
+                shard = _MortalShard(workers=1)
+                built.append(shard)
+                if len(built) > 2:
+                    shard.dead = True  # every replacement is stillborn
+                return shard
+
+            gateway = Gateway(
+                shards=2,
+                shard_factory=factory,
+                batch_window_ms=0.0,
+                supervisor_kwargs=dict(_FAST_SUPERVISOR, max_restart_attempts=2),
+                failover_retry_s=0.2,
+                failover_retry_after_s=2.5,
+            )
+            async with gateway:
+                owner = gateway.shard_for(req)
+                gateway._shards[owner].dead = True
+                for _ in range(200):
+                    if gateway._down[owner]:
+                        break
+                    await asyncio.sleep(0.02)
+                status, payload, headers = await gateway.handle_solve(req.to_wire())
+                failovers = gateway.counters["failovers"]
+            return status, payload, headers, failovers
+
+        status, payload, headers, failovers = _run(scenario())
+        assert status == 503
+        assert payload["error"] == "shard restarting"
+        assert headers["Retry-After"] == "3"  # ceil(2.5), delta-seconds form
+        assert failovers >= 1
+
+
+# ---------------------------------------------------------------------------
+# the keep-alive connection pool
+# ---------------------------------------------------------------------------
+
+
+class TestConnectionPool:
+    def test_concurrent_pooled_requests_never_cross(self):
+        reqs = _requests(8, seed=440, n=7)
+        expected = {
+            req.canonical_key(): solve_k_bounded(req.jobs, k=req.k).value
+            for req in reqs
+        }
+
+        async def scenario():
+            gateway = Gateway(
+                shards=2, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                pool = ConnectionPool("127.0.0.1", gateway.port, max_idle=4)
+
+                async def client(offset):
+                    for step in range(6):
+                        req = reqs[(offset + step) % len(reqs)]
+                        status, payload, _ = await pool.request(
+                            "POST", "/v1/solve", req.to_wire()
+                        )
+                        assert status == 200
+                        served = SolveResult.from_wire(payload["result"])
+                        # The response on this socket must belong to this
+                        # request — a crossed reply answers with another
+                        # instance's value.
+                        assert served.value == expected[req.canonical_key()]
+
+                await asyncio.gather(*(client(i) for i in range(6)))
+                counts = pool.created, pool.reused
+                await pool.close()
+            return counts
+
+        created, reused = _run(scenario())
+        assert reused > 0  # keep-alive actually reused sockets
+        assert created <= 6  # never more connections than concurrent clients
+
+    def test_pool_discards_closed_idle_sockets(self):
+        req = _requests(1, seed=460)[0]
+
+        async def scenario():
+            gateway = Gateway(
+                shards=1, shard_factory=_inline_factory(), batch_window_ms=0.0
+            )
+            async with gateway:
+                pool = ConnectionPool("127.0.0.1", gateway.port)
+                first = await pool.request("POST", "/v1/solve", req.to_wire())
+                assert len(pool._idle) == 1
+                pool._idle[0][1].close()  # the socket dies while idle
+                second = await pool.request("POST", "/v1/solve", req.to_wire())
+                counts = pool.created, pool.reused
+                await pool.close()
+            return first[0], second[0], counts
+
+        s1, s2, (created, reused) = _run(scenario())
+        assert s1 == 200 and s2 == 200
+        assert created == 2  # the dead idle socket was not reused
